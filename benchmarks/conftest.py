@@ -1,0 +1,6 @@
+"""Pytest path setup so benchmark modules can import ``common``."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,112 @@
+"""Ablation: the paper's single-block DCT PSD vs Welch averaging.
+
+The paper estimates its PSD with one DCT over the full 1024-sample block
+— the maximum-resolution, maximum-variance estimator — and then fights
+the variance downstream with Hann smoothing and peak matching.  The
+standard alternative is Welch averaging (lower variance, lower
+resolution).  This ablation runs the same zone-classification experiment
+on both spectral estimators to check whether the paper's unconventional
+choice costs anything once the harmonic-peak machinery sits on top.
+"""
+
+import numpy as np
+
+from common import (
+    ARTIFACTS_DIR,
+    SAMPLES_PER_MEASUREMENT,
+    SAMPLING_RATE_HZ,
+    ZONE_WEAR_RANGES,
+    stratified_train_test,
+)
+from repro.analysis.metrics import evaluate_labels
+from repro.core.classify import ZONE_A, OrderedThresholdClassifier
+from repro.core.distance import peak_harmonic_distance
+from repro.core.features import psd_feature, psd_frequencies, welch_psd
+from repro.core.peaks import extract_harmonic_peaks
+from repro.simulation.mems import MEMSSensor
+from repro.simulation.signal import VibrationSynthesizer
+from repro.viz.export import write_csv
+
+SAMPLES_PER_ZONE = 120
+WELCH_NPERSEG = 512
+
+
+def build_blocks(seed: int):
+    rng = np.random.default_rng(seed)
+    synth = VibrationSynthesizer()
+    sensor = MEMSSensor(rng=np.random.default_rng(seed + 1))
+    blocks, labels = [], []
+    for zone, (lo, hi) in ZONE_WEAR_RANGES.items():
+        for _ in range(SAMPLES_PER_ZONE):
+            wear = float(rng.uniform(lo, hi))
+            block = synth.synthesize(
+                wear, SAMPLES_PER_MEASUREMENT, SAMPLING_RATE_HZ, rng
+            )
+            blocks.append(sensor.measure_g(block, 0.0, SAMPLING_RATE_HZ))
+            labels.append(zone)
+    return blocks, np.asarray(labels, dtype=object)
+
+
+def classify_with(psds: np.ndarray, freqs: np.ndarray, labels: np.ndarray,
+                  window_size: int, seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    train_idx, test_idx = stratified_train_test(labels, 10, rng)
+    a_train = train_idx[labels[train_idx] == ZONE_A]
+    baseline = extract_harmonic_peaks(
+        psds[a_train].mean(axis=0), freqs, window_size=window_size
+    )
+    peaks = [extract_harmonic_peaks(p, freqs, window_size=window_size) for p in psds]
+    da = np.asarray([peak_harmonic_distance(p, baseline) for p in peaks])
+    clf = OrderedThresholdClassifier().fit(da[train_idx], labels[train_idx])
+    return evaluate_labels(labels[test_idx], clf.predict(da[test_idx])).accuracy
+
+
+def run_experiment() -> dict:
+    blocks, labels = build_blocks(seed=31)
+
+    dct_psds = np.stack([psd_feature(b) for b in blocks])
+    dct_freqs = psd_frequencies(SAMPLES_PER_MEASUREMENT, SAMPLING_RATE_HZ)
+
+    welch_freqs, first = welch_psd(blocks[0], SAMPLING_RATE_HZ, nperseg=WELCH_NPERSEG)
+    welch_psds = np.stack(
+        [welch_psd(b, SAMPLING_RATE_HZ, nperseg=WELCH_NPERSEG)[1] for b in blocks]
+    )
+
+    # The DCT runs the paper's n_h=24 smoothing; Welch segments already
+    # average variance away and have 4x coarser bins, so the comparable
+    # smoothing window shrinks proportionally.
+    results = {
+        "dct": np.mean([
+            classify_with(dct_psds, dct_freqs, labels, window_size=24, seed=s)
+            for s in range(3)
+        ]),
+        "welch": np.mean([
+            classify_with(welch_psds, welch_freqs, labels, window_size=6, seed=s)
+            for s in range(3)
+        ]),
+    }
+    return {"results": results, "dct_bins": dct_freqs.size, "welch_bins": welch_freqs.size}
+
+
+def test_ablation_dct_vs_welch(benchmark):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    results = out["results"]
+
+    print("\nAblation: spectral estimator under identical downstream machinery")
+    print(f"  DCT   ({out['dct_bins']} bins, n_h=24): accuracy={results['dct']:.3f}")
+    print(f"  Welch ({out['welch_bins']} bins, n_h=6):  accuracy={results['welch']:.3f}")
+    write_csv(
+        ARTIFACTS_DIR / "ablation_dct_vs_welch.csv",
+        ["estimator", "bins", "accuracy"],
+        [
+            ["dct", out["dct_bins"], f"{results['dct']:.4f}"],
+            ["welch", out["welch_bins"], f"{results['welch']:.4f}"],
+        ],
+    )
+
+    # Both estimators support the method: the paper's DCT choice is
+    # defensible — peak matching + smoothing absorbs its variance — and
+    # neither estimator collapses.
+    assert results["dct"] > 0.7
+    assert results["welch"] > 0.7
+    assert abs(results["dct"] - results["welch"]) < 0.15

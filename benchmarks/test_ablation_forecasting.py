@@ -1,0 +1,118 @@
+"""Ablation: population-line RUL projection vs per-pump sequence models.
+
+Sec. VII's future work proposes sequential models so the engine can track
+each pump's own dynamics.  This ablation pits three RUL estimators
+against ground truth on the fleet of Fig. 16:
+
+* the paper's method — recursive-RANSAC population slope anchored to the
+  pump (what the engine ships);
+* Holt linear smoothing of the pump's own D_a series; and
+* an AR(3) forecaster on the pump's D_a increments.
+
+Expectation: the population-model projection is the most accurate with
+only three months of history (it borrows strength across pumps), while
+the sequence models are competitive on fast-ageing pumps whose trend is
+well-excited within the window — which is exactly why the paper lists
+them as *future* work rather than a replacement.
+"""
+
+import numpy as np
+
+from common import ARTIFACTS_DIR, rul_fleet_analysis
+from repro.core.forecast import ARForecaster, HoltLinearForecaster, crossing_forecast
+from repro.viz.export import write_csv
+
+
+def sequence_rul(days, da, threshold, forecaster) -> float:
+    """RUL in days from a per-pump sequence forecast."""
+    forecaster.fit(da)
+    step_days = float(np.median(np.diff(days))) if days.size > 1 else 1.0
+    result = crossing_forecast(forecaster, float(da[-1]), threshold, horizon=20000)
+    if result.crossed_already:
+        return 0.0
+    if not np.isfinite(result.crossing_step):
+        return np.inf
+    return result.crossing_step * step_days
+
+
+def run_experiment() -> dict:
+    out = rul_fleet_analysis()
+    dataset, result = out["dataset"], out["result"]
+    pumps, service = out["pumps"], out["service"]
+    threshold = result.zone_d_threshold
+
+    rows = []
+    for info in dataset.pumps:
+        pump = info.pump_id
+        member = np.nonzero((pumps == pump) & result.valid_mask)[0]
+        order = member[np.argsort(service[member])]
+        days = service[order]
+        da = result.da[order]
+        if days.size < 10:
+            continue
+        latest = float(days.max())
+        true_rul = info.life_days - latest
+
+        ransac_pred = result.rul[pump].rul_days if pump in result.rul else np.nan
+        holt_pred = sequence_rul(days, da, threshold, HoltLinearForecaster(damping=1.0))
+        ar_pred = sequence_rul(days, da, threshold, ARForecaster(order=3))
+        rows.append(
+            {
+                "pump": pump,
+                "population": info.model_name,
+                "true": true_rul,
+                "ransac": ransac_pred,
+                "holt": holt_pred,
+                "ar": ar_pred,
+            }
+        )
+    return {"rows": rows}
+
+
+def _error_stats(rows, key, cap_days=1500.0):
+    errs = []
+    for r in rows:
+        pred = min(r[key], cap_days) if np.isfinite(r[key]) else cap_days
+        errs.append(abs(pred - r["true"]))
+    return float(np.median(errs)), float(np.mean(errs))
+
+
+def test_ablation_forecasting(benchmark):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = out["rows"]
+
+    print("\nAblation: RUL estimator comparison (days)")
+    print(f"{'pump':>4}  {'pop':>8}  {'true':>6}  {'ransac':>7}  {'holt':>7}  {'ar':>7}")
+    for r in rows:
+        def fmt(v):
+            return f"{v:>7.0f}" if np.isfinite(v) else "    inf"
+        print(f"{r['pump']:>4}  {r['population'][-8:]:>8}  {r['true']:>6.0f}"
+              f"  {fmt(r['ransac'])}  {fmt(r['holt'])}  {fmt(r['ar'])}")
+    write_csv(
+        ARTIFACTS_DIR / "ablation_forecasting.csv",
+        ["pump", "population", "true_rul", "ransac_rul", "holt_rul", "ar_rul"],
+        [
+            [r["pump"], r["population"], f"{r['true']:.1f}", f"{r['ransac']:.1f}",
+             f"{r['holt']:.1f}" if np.isfinite(r["holt"]) else "inf",
+             f"{r['ar']:.1f}" if np.isfinite(r["ar"]) else "inf"]
+            for r in rows
+        ],
+    )
+
+    stats = {key: _error_stats(rows, key) for key in ("ransac", "holt", "ar")}
+    print("\nabsolute error (median / mean, predictions capped at 1500 d):")
+    for key, (median, mean) in stats.items():
+        print(f"  {key:<7} {median:>7.0f} / {mean:>7.0f}")
+
+    # The shipped estimator is the best of the three on median error —
+    # population models beat per-pump extrapolation at this history depth.
+    assert stats["ransac"][0] <= stats["holt"][0]
+    assert stats["ransac"][0] <= stats["ar"][0]
+    # The sequence models are still meaningful (not orders of magnitude
+    # off) on the fast population, where the trend is well excited.
+    fast = [r for r in rows if r["population"] == "Model II"]
+    if fast:
+        fast_holt = np.median(
+            [abs(min(r["holt"], 1500.0) - r["true"]) for r in fast]
+        )
+        assert fast_holt < 400.0

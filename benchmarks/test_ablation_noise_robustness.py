@@ -1,0 +1,115 @@
+"""Ablation: peak-matched distance vs raw-PSD Euclidean under sensor noise.
+
+The paper's motivation for the harmonic peak feature is that raw PSD
+amplitudes fluctuate heavily with MEMS measurement noise, so raw-vector
+metrics degrade while the peak-matched metric stays stable.  This
+ablation sweeps the sensor noise density from piezo-grade (700 µg/√Hz)
+past MEMS-grade (4000) to worse, and tracks both features' zone accuracy.
+"""
+
+import numpy as np
+
+from common import (
+    ARTIFACTS_DIR,
+    SAMPLES_PER_MEASUREMENT,
+    SAMPLING_RATE_HZ,
+    stratified_train_test,
+)
+from repro.analysis.metrics import evaluate_labels
+from repro.core.classify import ZONE_A, OrderedThresholdClassifier
+from repro.core.distance import peak_harmonic_distance
+from repro.core.features import psd_feature, psd_frequencies
+from repro.core.peaks import extract_harmonic_peaks
+from repro.simulation.mems import MEMSSensor, MEMSSensorConfig, SENSOR_SPECS, SensorSpec
+from repro.simulation.signal import VibrationSynthesizer
+from repro.viz.export import write_csv
+
+NOISE_DENSITIES = (700.0, 2000.0, 4000.0, 8000.0, 16000.0)
+ZONE_WEARS = {"A": (0.02, 0.28), "BC": (0.32, 0.83), "D": (0.87, 1.15)}
+SAMPLES_PER_ZONE = 120
+
+
+def dataset_at_noise(noise_density: float, seed: int) -> dict:
+    spec = SensorSpec(
+        name=f"sweep-{noise_density}",
+        price_usd=10.0,
+        power_mw=3.0,
+        size_inches=(0.2, 0.2, 0.05),
+        noise_density_ug_per_rthz=noise_density,
+        resonance_khz=22.0,
+        accel_range_g=100.0,
+    )
+    rng = np.random.default_rng(seed)
+    synth = VibrationSynthesizer()
+    sensor = MEMSSensor(MEMSSensorConfig(spec=spec), np.random.default_rng(seed + 1))
+    freqs = psd_frequencies(SAMPLES_PER_MEASUREMENT, SAMPLING_RATE_HZ)
+    psds, labels = [], []
+    for zone, (lo, hi) in ZONE_WEARS.items():
+        for _ in range(SAMPLES_PER_ZONE):
+            wear = float(rng.uniform(lo, hi))
+            block = synth.synthesize(wear, SAMPLES_PER_MEASUREMENT, SAMPLING_RATE_HZ, rng)
+            psds.append(psd_feature(sensor.measure_g(block, 0.0, SAMPLING_RATE_HZ)))
+            labels.append(zone)
+    return {
+        "psds": np.stack(psds),
+        "labels": np.asarray(labels, dtype=object),
+        "freqs": freqs,
+    }
+
+
+def accuracies_at_noise(noise_density: float, seed: int) -> tuple[float, float]:
+    data = dataset_at_noise(noise_density, seed)
+    psds, labels, freqs = data["psds"], data["labels"], data["freqs"]
+    rng = np.random.default_rng(seed + 7)
+    train_idx, test_idx = stratified_train_test(labels, 10, rng)
+    a_train = train_idx[labels[train_idx] == ZONE_A]
+
+    baseline_peaks = extract_harmonic_peaks(psds[a_train].mean(axis=0), freqs)
+    peaks = [extract_harmonic_peaks(p, freqs) for p in psds]
+    da = np.asarray([peak_harmonic_distance(p, baseline_peaks) for p in peaks])
+    euclid = np.linalg.norm(psds - psds[a_train].mean(axis=0)[None, :], axis=1)
+
+    def accuracy(values):
+        clf = OrderedThresholdClassifier().fit(values[train_idx], labels[train_idx])
+        return evaluate_labels(labels[test_idx], clf.predict(values[test_idx])).accuracy
+
+    return accuracy(da), accuracy(euclid)
+
+
+def run_experiment() -> dict:
+    rows = {}
+    for density in NOISE_DENSITIES:
+        rows[density] = accuracies_at_noise(density, seed=int(density) % 997)
+    return rows
+
+
+def test_ablation_noise_robustness(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print("\nAblation: zone accuracy vs sensor noise density (µg/√Hz)")
+    print(f"{'noise':>7}  {'peak harmonic':>13}  {'euclidean':>9}")
+    for density, (ph, eu) in rows.items():
+        tag = ""
+        if density == SENSOR_SPECS["piezo"].noise_density_ug_per_rthz:
+            tag = "  <- piezo grade"
+        if density == SENSOR_SPECS["mems"].noise_density_ug_per_rthz:
+            tag = "  <- MEMS grade"
+        print(f"{density:>7.0f}  {ph:>13.3f}  {eu:>9.3f}{tag}")
+    write_csv(
+        ARTIFACTS_DIR / "ablation_noise_robustness.csv",
+        ["noise_density_ug_rthz", "peak_harmonic_accuracy", "euclidean_accuracy"],
+        [[f"{d:.0f}", f"{ph:.4f}", f"{eu:.4f}"] for d, (ph, eu) in rows.items()],
+    )
+
+    # Within the hardware range the paper targets (piezo grade through
+    # MEMS grade), the peak-matched metric clearly beats the raw-PSD
+    # metric — the paper's reason for building it.
+    for density in (700.0, 2000.0, 4000.0):
+        ph, eu = rows[density]
+        assert ph > eu + 0.1, f"at {density}: peak={ph:.3f} vs euclid={eu:.3f}"
+    # Finding: the advantage has a noise ceiling.  At 2-4x MEMS noise the
+    # spectral peaks themselves drown and the peak feature collapses
+    # below the energy-driven Euclidean metric — the method is the right
+    # choice for the paper's sensors, not unconditionally.
+    assert rows[4000.0][0] > 0.75
+    assert rows[16000.0][0] < rows[4000.0][0] - 0.2

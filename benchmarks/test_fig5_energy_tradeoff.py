@@ -1,0 +1,66 @@
+"""Fig. 5: sampling frequency vs report-period lower bound vs node lifetime.
+
+Sweeps the sampling frequency from 150 Hz to 22 kHz for target node
+lifetimes of 1-4 years and regenerates the report-period lower-bound
+curves, checking the paper's two worked anchors (10.2 h at 150 Hz / 3 yr
+and 5.2 h at 150 Hz / 2 yr) and the curve shape (bound grows as sampling
+frequency decreases; longer targets demand longer periods).
+"""
+
+import numpy as np
+import pytest
+
+from common import ARTIFACTS_DIR
+from repro.sensornet.energy import EnergyModel
+from repro.viz.ascii import ascii_line_plot
+from repro.viz.export import write_csv
+
+TARGET_YEARS = (1, 2, 3, 4)
+
+
+def sweep() -> tuple[np.ndarray, dict[int, np.ndarray]]:
+    model = EnergyModel()
+    rates = np.logspace(np.log10(150.0), np.log10(22_000.0), 32)
+    curves = {years: model.tradeoff_curve(rates, years) for years in TARGET_YEARS}
+    return rates, curves
+
+
+def test_fig5_energy_tradeoff(benchmark):
+    rates, curves = benchmark(sweep)
+
+    print("\nFig. 5: report period lower bound (hours)")
+    print(
+        ascii_line_plot(
+            np.log10(rates),
+            {f"{y} yr": curves[y] for y in TARGET_YEARS},
+            title="Report period lower bound vs log10(sampling rate)",
+            x_label="log10 fs (Hz)",
+            y_label="hours",
+        )
+    )
+    rows = [
+        [f"{fs:.0f}"] + [f"{curves[y][i]:.3f}" for y in TARGET_YEARS]
+        for i, fs in enumerate(rates)
+    ]
+    write_csv(
+        ARTIFACTS_DIR / "fig5_energy_tradeoff.csv",
+        ["sampling_hz"] + [f"bound_hours_{y}yr" for y in TARGET_YEARS],
+        rows,
+    )
+
+    model = EnergyModel()
+    # Paper's worked anchors.
+    assert model.report_period_lower_bound_s(150.0, 3.0) / 3600 == pytest.approx(
+        10.2, rel=0.1
+    )
+    assert model.report_period_lower_bound_s(150.0, 2.0) / 3600 == pytest.approx(
+        5.2, rel=0.1
+    )
+    assert model.measurements_in_lifetime(150.0, 3.0) == pytest.approx(2576, rel=0.1)
+    assert model.measurements_in_lifetime(150.0, 2.0) == pytest.approx(3650, rel=0.1)
+    # Shape: every curve decreases with sampling rate; longer target
+    # lifetime sits strictly above shorter.
+    for years in TARGET_YEARS:
+        assert (np.diff(curves[years]) < 0).all()
+    for lo, hi in zip(TARGET_YEARS[:-1], TARGET_YEARS[1:]):
+        assert (curves[hi] > curves[lo]).all()

@@ -1,0 +1,92 @@
+"""Performance benchmarks: throughput of the analysis hot path.
+
+Unlike the experiment benchmarks (which regenerate the paper's tables and
+figures once), these use pytest-benchmark's repeated timing to track the
+per-measurement cost of each pipeline stage — the numbers that decide how
+many sensors one analysis server sustains.  At the paper's deployment
+(12 pumps × 10-minute reports ≈ 0.02 measurements/s) even the slowest
+stage has four orders of magnitude of headroom; these benchmarks are the
+evidence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import PeakHarmonicFeature
+from repro.core.distance import peak_harmonic_distance
+from repro.core.features import psd_feature, psd_frequencies
+from repro.core.meanshift import MeanShift
+from repro.core.peaks import extract_harmonic_peaks
+from repro.simulation.mems import MEMSSensor
+from repro.simulation.signal import VibrationSynthesizer
+
+FS = 4000.0
+K = 1024
+
+
+@pytest.fixture(scope="module")
+def sample_block():
+    gen = np.random.default_rng(0)
+    synth = VibrationSynthesizer()
+    sensor = MEMSSensor(rng=np.random.default_rng(1))
+    return sensor.measure_g(synth.synthesize(0.5, K, FS, gen), 0.0, FS)
+
+
+@pytest.fixture(scope="module")
+def sample_psd(sample_block):
+    return psd_feature(sample_block)
+
+
+@pytest.fixture(scope="module")
+def freqs():
+    return psd_frequencies(K, FS)
+
+
+def test_perf_psd_extraction(benchmark, sample_block):
+    """DCT-based PSD of one 1024x3 block."""
+    result = benchmark(psd_feature, sample_block)
+    assert result.shape == (K,)
+
+
+def test_perf_peak_extraction(benchmark, sample_psd, freqs):
+    """Harmonic peak extraction (smooth + maxima + top-20)."""
+    peaks = benchmark(extract_harmonic_peaks, sample_psd, freqs)
+    assert len(peaks) > 0
+
+
+def test_perf_peak_distance(benchmark, sample_psd, freqs):
+    """One Algorithm 1 distance evaluation."""
+    gen = np.random.default_rng(2)
+    synth = VibrationSynthesizer()
+    other_psd = psd_feature(synth.synthesize(1.0, K, FS, gen))
+    a = extract_harmonic_peaks(sample_psd, freqs)
+    b = extract_harmonic_peaks(other_psd, freqs)
+    d = benchmark(peak_harmonic_distance, a, b)
+    assert d >= 0
+
+
+def test_perf_full_measurement_scoring(benchmark, sample_block, freqs):
+    """Raw block -> PSD -> peaks -> D_a, the per-measurement hot path."""
+    gen = np.random.default_rng(3)
+    synth = VibrationSynthesizer()
+    ref = np.stack([psd_feature(synth.synthesize(0.05, K, FS, gen)) for _ in range(8)])
+    feature = PeakHarmonicFeature().fit(ref, freqs)
+
+    def score_one():
+        return feature.score(psd_feature(sample_block), freqs)
+
+    da = benchmark(score_one)
+    assert np.isfinite(da)
+
+
+def test_perf_mean_shift_outlier_pass(benchmark):
+    """Mean-shift over 200 offset points (one sensor's 3-month history)."""
+    gen = np.random.default_rng(4)
+    offsets = gen.normal(0, 0.005, size=(200, 3)) + np.asarray([0.1, -0.2, 1.0])
+    offsets[150:] += 0.5
+
+    def cluster():
+        return MeanShift(bandwidth=0.15).fit(offsets)
+
+    result = benchmark(cluster)
+    assert result.n_clusters >= 2

@@ -1,0 +1,95 @@
+"""Performance benchmarks: the storage engine under measurement load.
+
+The paper's system continuously lands 6 KB measurement blocks in the
+sensor database and re-reads analysis-period windows on every refresh.
+These benchmarks size that data path: bulk insert throughput, windowed
+query latency, the dense-matrix construction the transformation layer
+consumes, and retention compaction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.storage.aggregate import RetentionManager
+from repro.storage.api import AnalysisPeriod, DataRetrievalAPI
+from repro.storage.database import VibrationDatabase
+from repro.storage.records import Measurement
+
+N_MEASUREMENTS = 1000
+K = 1024
+
+
+def make_measurements(n=N_MEASUREMENTS, k=K, seed=0):
+    gen = np.random.default_rng(seed)
+    return [
+        Measurement(
+            pump_id=i % 12,
+            measurement_id=i,
+            timestamp_day=i * 0.01,
+            service_day=i * 0.01,
+            samples=gen.normal(size=(k, 3)).astype(np.float32),
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_measurements()
+
+
+@pytest.fixture(scope="module")
+def loaded_db(corpus):
+    db = VibrationDatabase()
+    db.measurements.add_many(corpus)
+    yield db
+    db.close()
+
+
+def test_perf_bulk_insert(benchmark, corpus):
+    """Insert 1,000 full 6 KB measurements (one day of a 12-pump fleet
+    at ~7x the paper's report rate)."""
+
+    def insert():
+        with VibrationDatabase() as db:
+            db.measurements.add_many(corpus)
+            return db.measurements.count()
+
+    count = benchmark.pedantic(insert, rounds=3, iterations=1)
+    assert count == N_MEASUREMENTS
+
+
+def test_perf_window_query(benchmark, loaded_db):
+    """Read a 20%-of-history analysis window with sample decoding."""
+
+    def query():
+        return loaded_db.measurements.query(2.0, 4.0)
+
+    records = benchmark(query)
+    assert len(records) == 200
+    assert records[0].samples.shape == (K, 3)
+
+
+def test_perf_matrix_construction(benchmark, loaded_db):
+    """The retrieval API's dense-array path feeding the pipeline."""
+    api = DataRetrievalAPI(loaded_db, AnalysisPeriod(0.0, 5.0))
+
+    def build():
+        return api.measurement_matrices()
+
+    pumps, mids, service, samples = benchmark(build)
+    assert samples.shape == (500, K, 3)
+
+
+def test_perf_retention_compaction(benchmark):
+    """Aggregate-and-delete of 5 pump-days of raw blocks."""
+
+    def compact():
+        with VibrationDatabase() as db:
+            db.measurements.add_many(make_measurements(n=300, k=256))
+            manager = RetentionManager(db)
+            return manager.compact(keep_raw_days=1.0, now_day=4.0)
+
+    outcome = benchmark.pedantic(compact, rounds=3, iterations=1)
+    assert outcome["raw_deleted"] > 0
+    assert outcome["summaries_written"] > 0

@@ -1,0 +1,50 @@
+"""Table I: piezoelectric vs MEMS vibration sensor specifications.
+
+Regenerates the paper's hardware comparison table from the sensor spec
+constants the simulator is built on, and verifies the qualitative claims
+(MEMS is cheaper, smaller, lower power; piezo is less noisy).
+"""
+
+import numpy as np
+
+from common import ARTIFACTS_DIR
+from repro.simulation.mems import SENSOR_SPECS
+from repro.viz.export import write_csv
+
+HEADER = ["feature", "Piezo Sensor", "MEMS Sensor"]
+
+
+def build_table() -> list[list[object]]:
+    piezo = SENSOR_SPECS["piezo"]
+    mems = SENSOR_SPECS["mems"]
+    return [
+        ["Price (US$)", piezo.price_usd, mems.price_usd],
+        ["Power (mW)", piezo.power_mw, mems.power_mw],
+        [
+            "Size (inch)",
+            "x".join(str(v) for v in piezo.size_inches),
+            "x".join(str(v) for v in mems.size_inches),
+        ],
+        ["Noise density (ug/rtHz)", piezo.noise_density_ug_per_rthz, mems.noise_density_ug_per_rthz],
+        ["Resonance freq (kHz)", piezo.resonance_khz, mems.resonance_khz],
+        ["Accel range (g)", piezo.accel_range_g, mems.accel_range_g],
+    ]
+
+
+def test_table1_sensor_specs(benchmark):
+    rows = benchmark(build_table)
+
+    print("\nTable I: two generations of vibration sensors")
+    print(f"{HEADER[0]:<26} {HEADER[1]:>14} {HEADER[2]:>14}")
+    for row in rows:
+        print(f"{row[0]:<26} {str(row[1]):>14} {str(row[2]):>14}")
+    write_csv(ARTIFACTS_DIR / "table1_sensor_specs.csv", HEADER, rows)
+
+    piezo = SENSOR_SPECS["piezo"]
+    mems = SENSOR_SPECS["mems"]
+    # Paper's qualitative claims.
+    assert mems.price_usd < piezo.price_usd / 10
+    assert mems.power_mw < piezo.power_mw
+    assert np.prod(mems.size_inches) < np.prod(piezo.size_inches)
+    assert mems.noise_density_ug_per_rthz > piezo.noise_density_ug_per_rthz
+    assert mems.accel_range_g > piezo.accel_range_g

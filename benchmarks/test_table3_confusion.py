@@ -1,0 +1,57 @@
+"""Table III: confusion tables at 15 training samples.
+
+Regenerates the paper's confusion tables for all four feature metrics at
+the 15-training-sample operating point and checks the paper's key safety
+observation: the raw-PSD baselines (Euclidean/Mahalanobis) misclassify a
+substantial share of Zone D measurements as Zone BC — the error class the
+paper calls "mostly fatal to the Fab" — while the peak harmonic feature
+keeps that fatal error rate low.
+"""
+
+import numpy as np
+
+from common import ARTIFACTS_DIR
+from repro.core.classify import ZONES
+from repro.viz.export import write_csv
+
+from test_fig12_14_classification import METRICS, run_experiment
+
+
+def test_table3_confusion(benchmark):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    confusions = out["confusions"]
+
+    print("\nTable III: confusion tables at 15 training samples")
+    rows = []
+    for metric in METRICS:
+        matrix = confusions[metric]
+        print(f"\n{metric} (rows = truth, cols = predicted {ZONES}):")
+        for i, zone in enumerate(ZONES):
+            print(f"  {zone:>4} {matrix[i].tolist()}")
+        for i, true_zone in enumerate(ZONES):
+            for j, pred_zone in enumerate(ZONES):
+                rows.append([metric, true_zone, pred_zone, int(matrix[i, j])])
+    write_csv(
+        ARTIFACTS_DIR / "table3_confusion.csv",
+        ["metric", "true_zone", "pred_zone", "count"],
+        rows,
+    )
+
+    def fatal_rate(matrix: np.ndarray) -> float:
+        """Zone D measurements classified below Zone D."""
+        d_row = matrix[2]
+        return (d_row[0] + d_row[1]) / max(d_row.sum(), 1)
+
+    ph_fatal = fatal_rate(confusions["peak_harmonic"])
+    print(f"\nfatal D->(A|BC) rates: "
+          + ", ".join(f"{m}={fatal_rate(confusions[m]):.2%}" for m in METRICS))
+
+    # The paper's observation: the baselines' D rows leak into BC far
+    # more than the peak harmonic feature's.
+    assert ph_fatal < fatal_rate(confusions["euclidean"])
+    assert ph_fatal < fatal_rate(confusions["mahalanobis"])
+    assert ph_fatal < 0.35
+    # Temperature's confusion table is near-uniform garbage: its accuracy
+    # over the table is close to chance.
+    temp = confusions["temperature"]
+    assert temp.trace() / temp.sum() < 0.55

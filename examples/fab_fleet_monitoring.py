@@ -1,0 +1,82 @@
+"""Fab fleet monitoring: the full database-backed engine with rolling updates.
+
+Mirrors the production deployment of Sec. V: measurements, labels, FICS
+temperature and maintenance events land in the (SQLite) sensor/factory
+databases; the analysis engine re-runs on a rolling analysis period and
+produces the operator report each refresh — including the Table IV-style
+wasted-RUL cost accounting.
+
+Usage::
+
+    python examples/fab_fleet_monitoring.py
+"""
+
+from repro.analysis.engine import EngineConfig, VibrationAnalysisEngine
+from repro.core.pipeline import PipelineConfig
+from repro.simulation import FleetConfig, FleetSimulator
+from repro.storage.api import AnalysisPeriod, DataRetrievalAPI
+from repro.storage.database import VibrationDatabase
+
+
+def main() -> None:
+    print("=== Loading three months of fleet data into the databases ===")
+    config = FleetConfig(
+        num_pumps=8,
+        duration_days=90,
+        report_interval_days=0.5,
+        pm_interval_days=240.0,
+        unstable_sensor_fraction=0.25,
+        max_initial_age_fraction=0.9,
+        seed=11,
+    )
+    dataset = FleetSimulator(config).run()
+    database = VibrationDatabase()
+    dataset.to_database(database)
+    label_records, _ = dataset.expert_labels({"A": 40, "BC": 40, "D": 15})
+    database.labels.add_many(label_records)
+    print(f"measurements stored: {database.measurements.count()}")
+    print(f"labels stored:       {database.labels.count()} "
+          f"({database.labels.count(only_valid=True)} valid)")
+    print(f"maintenance events:  {len(dataset.events)}")
+
+    # The engine analyzes a rolling window that refreshes periodically
+    # (the paper uses hourly refreshes; we step 30 simulated days).
+    api = DataRetrievalAPI(database, AnalysisPeriod(0.0, 30.0))
+    engine = VibrationAnalysisEngine(
+        api,
+        EngineConfig(
+            pipeline=PipelineConfig(
+                moving_average_window=4,
+                ransac_min_inliers=60,
+                ransac_residual_threshold=0.05,
+            )
+        ),
+    )
+
+    for refresh in range(3):
+        period = api.period
+        print(f"\n=== Analysis refresh {refresh + 1}: days "
+              f"[{period.start_day:.0f}, {period.end_day:.0f}) ===")
+        try:
+            report = engine.run()
+        except ValueError as exc:
+            print(f"skipped: {exc}")
+            api.advance(30.0)
+            continue
+        for line in report.summary_lines():
+            print(line)
+        print(f"lifetime models: {len(report.lifetime_models)}")
+        wasted = report.wasted_rul
+        print(
+            f"maintenance cost in window: ${wasted['total_usd']:,.0f} "
+            f"({wasted['pm_wasted_days']:.0f} wasted PM days, "
+            f"{wasted['bm_overrun_days']:.0f} hazard-overrun days)"
+        )
+        api.advance(30.0)
+
+    database.close()
+    print("\nDone: the final refresh covers the full quarter.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Fault diagnosis and maintenance scheduling on a mixed-fault fleet.
+
+The paper's fab experts read spectra to decide pump condition; this
+example automates that reading with the explainable spectral diagnoser,
+then turns RUL predictions into a capacity-constrained replacement
+schedule — the paper's ultimate objective ("optimize the replacement
+scheduling over the equipments").
+
+1. simulate pumps carrying different mechanical faults;
+2. diagnose each from its harmonic peak feature (imbalance,
+   misalignment, looseness, bearing defect);
+3. plan the crew's next weeks from a set of RUL predictions.
+
+Usage::
+
+    python examples/fault_diagnosis.py
+"""
+
+import numpy as np
+
+from repro.analysis.scheduling import MaintenanceScheduler
+from repro.core.diagnosis import SpectralDiagnoser
+from repro.core.features import psd_feature, psd_frequencies
+from repro.core.peaks import extract_harmonic_peaks
+from repro.core.rul import RULPrediction
+from repro.simulation.faults import FaultInjector, FaultSpec, FaultType
+
+FS = 4000.0
+K = 1024
+
+
+def averaged_peaks(injector, fault, freqs, rng, n=5):
+    psd = np.mean(
+        [psd_feature(injector.synthesize(fault, K, FS, rng)) for _ in range(n)],
+        axis=0,
+    )
+    return extract_harmonic_peaks(psd, freqs)
+
+
+def diagnose_fleet() -> None:
+    print("=== 1. Spectral fault diagnosis ===")
+    injector = FaultInjector()
+    freqs = psd_frequencies(K, FS)
+    rng = np.random.default_rng(0)
+
+    healthy = averaged_peaks(injector, FaultSpec(FaultType.NONE), freqs, rng)
+    diagnoser = SpectralDiagnoser(injector.profile.rotation_hz)
+    diagnoser.fit_baseline(healthy)
+
+    fleet = {
+        "pump-00": FaultSpec(FaultType.NONE),
+        "pump-01": FaultSpec(FaultType.IMBALANCE, 0.9),
+        "pump-02": FaultSpec(FaultType.MISALIGNMENT, 0.8),
+        "pump-03": FaultSpec(FaultType.LOOSENESS, 0.9),
+        "pump-04": FaultSpec(FaultType.BEARING_DEFECT, 0.8),
+    }
+    print(f"{'pump':>8}  {'injected':>15}  {'diagnosed':>15}  strongest evidence")
+    for name, fault in fleet.items():
+        peaks = averaged_peaks(injector, fault, freqs, rng)
+        diagnosis = diagnoser.diagnose(peaks)
+        if diagnosis.scores:
+            top = max(diagnosis.scores, key=diagnosis.scores.get)
+            evidence = f"{top}={diagnosis.scores[top]:.1f}"
+        else:
+            evidence = "-"
+        print(f"{name:>8}  {fault.kind.value:>15}  {diagnosis.label:>15}  {evidence}")
+
+
+def plan_maintenance() -> None:
+    print("\n=== 2. Replacement scheduling from RUL predictions ===")
+
+    def prediction(days):
+        return RULPrediction(
+            model_index=0, slope=0.001, intercept=0.05,
+            current_service_days=100.0,
+            crossing_service_days=100.0 + days, rul_days=days,
+        )
+
+    predictions = {
+        0: prediction(-4.0),    # overdue
+        1: prediction(9.0),
+        2: prediction(12.0),
+        3: prediction(24.0),
+        4: prediction(26.0),
+        5: prediction(30.0),
+        6: prediction(200.0),   # healthy, outside this plan
+    }
+    scheduler = MaintenanceScheduler(
+        period_days=7.0, capacity_per_period=2, safety_margin_days=7.0
+    )
+    plan = scheduler.plan(predictions, horizon_periods=8)
+    print(f"crew capacity: 2 replacements/week, safety margin 7 days")
+    for period, items in sorted(plan.by_period().items()):
+        pumps = ", ".join(
+            f"pump {s.pump_id} (RUL {s.predicted_rul_days:.0f} d)" for s in items
+        )
+        print(f"  week {period}: {pumps}")
+    unscheduled = [p for p in predictions if plan.period_of(p) is None]
+    print(f"  not in this plan: pumps {unscheduled}")
+    print(
+        f"expected wasted RUL: {plan.expected_wasted_days:.0f} days "
+        f"(${plan.expected_wasted_usd:,.0f})"
+    )
+
+
+def main() -> None:
+    diagnose_fleet()
+    plan_maintenance()
+
+
+if __name__ == "__main__":
+    main()

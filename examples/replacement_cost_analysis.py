@@ -1,0 +1,94 @@
+"""Replacement cost analysis: what RUL-driven maintenance is worth.
+
+Reproduces the economic argument of Table IV and the introduction: a fixed
+six-month replacement policy throws away most of a long-lived pump's
+useful life, while running pumps blind risks expensive breakdowns.  The
+script prices both policies over a synthetic population mixing the paper's
+two lifetime models and reports savings, lifetime prolongation, and
+breakdown exposure as the prediction error varies.
+
+Usage::
+
+    python examples/replacement_cost_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis.cost import CostModel
+from repro.simulation.degradation import MODEL_I, MODEL_II
+
+
+def sample_fleet_lives(n: int, model_ii_fraction: float, rng: np.random.Generator):
+    lives = np.empty(n)
+    populations = np.empty(n, dtype=object)
+    for i in range(n):
+        spec = MODEL_II if rng.random() < model_ii_fraction else MODEL_I
+        lives[i] = spec.sample_life_days(rng)
+        populations[i] = spec.name
+    return lives, populations
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    model = CostModel()
+    lives, populations = sample_fleet_lives(2000, model_ii_fraction=1 / 3, rng=rng)
+    pm_interval = 180.0  # the paper's conservative six-month policy
+
+    print("=== Fleet composition ===")
+    for name in ("Model I", "Model II"):
+        member = populations == name
+        print(
+            f"{name}: {member.sum():>4} pumps, mean true life "
+            f"{lives[member].mean():.0f} days"
+        )
+
+    print("\n=== Policy comparison vs prediction quality ===")
+    header = (
+        f"{'pred error (d)':>14}  {'savings':>8}  {'lifetime x':>10}  "
+        f"{'base BM%':>8}  {'pred BM%':>8}"
+    )
+    print(header)
+    for error_days in (0, 15, 30, 60, 120):
+        predictions = lives + rng.normal(0, error_days, size=lives.size)
+        summary = model.compare_policies(
+            lives, predictions, pm_interval_days=pm_interval, safety_margin_days=21.0
+        )
+        print(
+            f"{error_days:>14}  {summary.savings_fraction:>8.1%}"
+            f"  {summary.lifetime_factor:>10.2f}"
+            f"  {summary.baseline_breakdown_rate:>8.1%}"
+            f"  {summary.predictive_breakdown_rate:>8.1%}"
+        )
+
+    print("\n=== Per-population savings (accurate predictions, 30 d error) ===")
+    predictions = lives + rng.normal(0, 30.0, size=lives.size)
+    for name in ("Model I", "Model II"):
+        member = populations == name
+        summary = model.compare_policies(
+            lives[member], predictions[member], pm_interval_days=pm_interval,
+            safety_margin_days=21.0,
+        )
+        print(
+            f"{name}: savings {summary.savings_fraction:.1%}, "
+            f"lifetime x{summary.lifetime_factor:.2f} "
+            f"(paper reports 22% for Model I, 7.4% for Model II, "
+            f"lifetime x1.2 fleet-wide)"
+        )
+
+    print("\n=== Table IV-style wasted-RUL accounting ===")
+    from repro.storage.records import PM, MaintenanceEvent
+
+    events = [
+        MaintenanceEvent(4, 50.0, PM, 180.0, 390.0),
+        MaintenanceEvent(5, 55.0, PM, 180.0, 310.0),
+        MaintenanceEvent(8, 60.0, PM, 180.0, 280.0),
+    ]
+    wasted = model.wasted_rul_value(events)
+    print(
+        f"pumps 4, 5, 8 replaced on plan: {wasted['pm_wasted_days']:.0f} wasted "
+        f"days = ${wasted['pm_wasted_usd']:,.0f} (paper: $98,000)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Sensor network planning: the Fig. 5 tradeoff and reliable collection.
+
+Two planning questions a deployment engineer answers before instrumenting
+a fab, both straight from Sec. II of the paper:
+
+1. **How often can each mote report?**  Given a target node lifetime and a
+   sampling frequency, the battery dictates a lower bound on the report
+   period (Fig. 5).  "Data is expensive" — the affordable measurement
+   count over the node's life is startlingly small.
+2. **Will the measurements survive the radio?**  A 6 KB measurement is 120
+   packets; losing one loses the block.  Flush's NACK recovery keeps the
+   recovery rate at 100% where best-effort transport collapses.
+
+Usage::
+
+    python examples/sensor_network_planning.py
+"""
+
+import numpy as np
+
+from repro.sensornet.energy import EnergyModel
+from repro.sensornet.flush import best_effort_transfer, flush_transfer
+from repro.sensornet.packets import fragment_measurement
+from repro.sensornet.radio import LossyLink
+from repro.viz.ascii import ascii_line_plot
+
+
+def energy_tradeoff() -> None:
+    print("=== Fig. 5: report period lower bound vs sampling frequency ===")
+    model = EnergyModel()
+    rates = np.logspace(np.log10(150), np.log10(22_000), 24)
+    series = {}
+    for years in (1, 2, 3, 4):
+        series[f"{years} yr"] = model.tradeoff_curve(rates, years)
+    print(
+        ascii_line_plot(
+            np.log10(rates),
+            series,
+            title="Report period lower bound (hours) vs log10 sampling rate (Hz)",
+            x_label="log10 fs",
+            y_label="hours",
+            width=64,
+            height=14,
+        )
+    )
+    print("\nPaper's worked example (150 Hz):")
+    for years in (2, 3):
+        bound_h = model.report_period_lower_bound_s(150.0, years) / 3600.0
+        budget = model.measurements_in_lifetime(150.0, years)
+        print(
+            f"  target {years} yr: min report period {bound_h:.1f} h "
+            f"-> {budget:,.0f} measurements over the node's life"
+        )
+
+
+def transport_reliability() -> None:
+    print("\n=== Flush vs best-effort under packet loss ===")
+    gen = np.random.default_rng(0)
+    print(f"{'loss':>6}  {'flush ok':>8}  {'best-effort ok':>14}  {'tx overhead':>11}")
+    for loss in (0.01, 0.05, 0.1, 0.2, 0.3):
+        flush_ok = 0
+        naive_ok = 0
+        overhead = []
+        trials = 20
+        for trial in range(trials):
+            counts = gen.integers(-2000, 2000, size=(1024, 3), dtype=np.int16)
+            packets = fragment_measurement(0, trial, counts)
+            stats, _ = flush_transfer(
+                packets, LossyLink(loss, seed=trial), max_rounds=50
+            )
+            flush_ok += stats.success
+            overhead.append(stats.data_transmissions / len(packets))
+            naive, _ = best_effort_transfer(packets, LossyLink(loss, seed=1000 + trial))
+            naive_ok += naive.success
+        print(
+            f"{loss:>6.0%}  {flush_ok / trials:>8.0%}  {naive_ok / trials:>14.0%}"
+            f"  {np.mean(overhead):>10.2f}x"
+        )
+    print("\nLosing any of the 120 packets loses the measurement, so")
+    print("best-effort recovery collapses as (1 - loss)^120 while Flush")
+    print("pays only a ~1/(1-loss) transmission overhead.")
+
+
+def main() -> None:
+    energy_tradeoff()
+    transport_reliability()
+
+
+if __name__ == "__main__":
+    main()

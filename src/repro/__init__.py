@@ -1,0 +1,68 @@
+"""repro — reproduction of "Vibration Analysis for IoT Enabled Predictive
+Maintenance" (Jung, Zhang & Winslett, ICDE 2017).
+
+The package is organised by layer:
+
+* :mod:`repro.core` — the paper's analytical contribution: DCT-based PSD
+  features, harmonic peak extraction, the peak harmonic distance
+  (Algorithm 1), zone classification, recursive-RANSAC lifetime models and
+  RUL estimation.
+* :mod:`repro.simulation` — a synthetic fab substrate (rotating-machinery
+  vibration, MEMS sensor imperfections, degradation, labels, maintenance).
+* :mod:`repro.sensornet` — the wireless collection tier (motes, Flush
+  bulk transport, scheduling, the energy/lifetime tradeoff).
+* :mod:`repro.storage` — SQLite-backed sensor/factory databases and the
+  analysis-period retrieval API.
+* :mod:`repro.analysis` — the end-to-end engine, evaluation metrics and
+  the replacement-cost model.
+* :mod:`repro.viz` — ASCII plots and CSV export for figure regeneration.
+
+Quickstart::
+
+    from repro.simulation import FleetConfig, FleetSimulator
+    from repro.core import AnalysisPipeline
+
+    dataset = FleetSimulator(
+        FleetConfig(num_pumps=6, duration_days=80, pm_interval_days=None,
+                    max_initial_age_fraction=0.9)
+    ).run()
+    pumps, service, samples = dataset.measurement_arrays()
+    _, labels = dataset.expert_labels({"A": 40, "BC": 40, "D": 15})
+    result = AnalysisPipeline().run(pumps, service, samples, labels)
+    print(result.rul)
+"""
+
+from repro.core import (
+    AnalysisPipeline,
+    PipelineConfig,
+    PipelineResult,
+    RULEstimator,
+    ZoneClassifier,
+    extract_harmonic_peaks,
+    peak_harmonic_distance,
+)
+from repro.analysis import AnalysisReport, CostModel, VibrationAnalysisEngine
+from repro.simulation import FleetConfig, FleetDataset, FleetSimulator
+from repro.storage import AnalysisPeriod, DataRetrievalAPI, VibrationDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "ZoneClassifier",
+    "RULEstimator",
+    "extract_harmonic_peaks",
+    "peak_harmonic_distance",
+    "VibrationAnalysisEngine",
+    "AnalysisReport",
+    "CostModel",
+    "FleetConfig",
+    "FleetSimulator",
+    "FleetDataset",
+    "VibrationDatabase",
+    "DataRetrievalAPI",
+    "AnalysisPeriod",
+    "__version__",
+]

@@ -1,0 +1,157 @@
+"""Walk-forward backtesting of RUL predictions.
+
+A single end-of-experiment comparison (Fig. 16) says how good the final
+predictions were; a deployment also needs to know how prediction quality
+evolves with *lead time* — how early can the system be trusted?  The
+backtester replays history: at each refresh day it fits the lifetime
+models on only the data available *then*, predicts every pump's RUL, and
+scores the prediction against the eventual ground truth.
+
+The feature series (``D_a``) is computed once up front — features depend
+only on each measurement, not on the analysis date — so the walk-forward
+loop re-fits only the RUL layer, keeping a full-fleet backtest cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ransac import RecursiveRANSAC
+from repro.core.rul import RULEstimator
+
+
+@dataclass(frozen=True)
+class BacktestPoint:
+    """One (pump, as-of day) prediction scored against ground truth.
+
+    Attributes:
+        pump_id: equipment.
+        asof_day: analysis day (absolute, deployment epoch).
+        lead_time_days: ground-truth days from ``asof_day`` to failure.
+        predicted_rul_days: prediction made with data up to ``asof_day``.
+        true_rul_days: ground-truth remaining life at ``asof_day``.
+    """
+
+    pump_id: int
+    asof_day: float
+    lead_time_days: float
+    predicted_rul_days: float
+    true_rul_days: float
+
+    @property
+    def error_days(self) -> float:
+        return self.predicted_rul_days - self.true_rul_days
+
+
+@dataclass
+class BacktestResult:
+    """All walk-forward points plus aggregate error views."""
+
+    points: list[BacktestPoint]
+
+    def errors(self) -> np.ndarray:
+        return np.asarray([p.error_days for p in self.points])
+
+    def mae(self) -> float:
+        """Mean absolute error across all points (NaN when empty)."""
+        errs = self.errors()
+        return float(np.abs(errs).mean()) if errs.size else float("nan")
+
+    def mae_by_lead_time(self, edges: tuple[float, ...]) -> dict[str, float]:
+        """MAE bucketed by lead time (``edges`` ascending, in days)."""
+        if len(edges) < 2 or not all(a < b for a, b in zip(edges, edges[1:])):
+            raise ValueError("edges must be at least 2 ascending values")
+        out: dict[str, float] = {}
+        leads = np.asarray([p.lead_time_days for p in self.points])
+        errs = self.errors()
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            mask = (leads >= lo) & (leads < hi)
+            key = f"{lo:.0f}-{hi:.0f}d"
+            out[key] = float(np.abs(errs[mask]).mean()) if mask.any() else float("nan")
+        return out
+
+
+def backtest_rul(
+    pump_ids: np.ndarray,
+    timestamp_days: np.ndarray,
+    service_days: np.ndarray,
+    da: np.ndarray,
+    true_life_days: dict[int, float],
+    zone_d_threshold: float,
+    refresh_every_days: float = 10.0,
+    min_history_per_pump: int = 10,
+    min_fleet_points: int = 100,
+    ransac: RecursiveRANSAC | None = None,
+) -> BacktestResult:
+    """Walk-forward RUL evaluation over a fleet's feature history.
+
+    Args:
+        pump_ids: pump per measurement.
+        timestamp_days: absolute measurement times.
+        service_days: pump service times, aligned.
+        da: degradation feature per measurement (NaN = invalid, skipped).
+        true_life_days: ground-truth total life per pump (simulation
+            truth, or post-hoc diagnosis for real data).
+        zone_d_threshold: hazard boundary used for the projection.
+        refresh_every_days: walk-forward step.
+        min_history_per_pump: a pump is predicted only once it has this
+            many valid measurements before the as-of day.
+        min_fleet_points: lifetime models are fitted only once the fleet
+            has this many valid measurements before the as-of day.
+        ransac: model-discovery engine; sensible default when omitted.
+
+    Returns:
+        BacktestResult over every (refresh, pump) with enough history.
+    """
+    pumps = np.asarray(pump_ids)
+    times = np.asarray(timestamp_days, dtype=np.float64)
+    service = np.asarray(service_days, dtype=np.float64)
+    features = np.asarray(da, dtype=np.float64)
+    if not (pumps.shape == times.shape == service.shape == features.shape):
+        raise ValueError("all measurement arrays must align")
+    if refresh_every_days <= 0:
+        raise ValueError("refresh_every_days must be positive")
+
+    valid = np.isfinite(features)
+    points: list[BacktestPoint] = []
+    first_refresh = float(times[valid].min()) + refresh_every_days
+    last_day = float(times[valid].max())
+    asof = first_refresh
+    while asof <= last_day + 1e-9:
+        window = valid & (times <= asof)
+        if window.sum() >= min_fleet_points:
+            engine = RULEstimator(
+                zone_d_threshold,
+                ransac
+                or RecursiveRANSAC(
+                    residual_threshold=0.05,
+                    min_inliers=max(30, int(window.sum()) // 20),
+                    seed=0,
+                ),
+            )
+            engine.fit(service[window], features[window])
+            if engine.n_models:
+                for pump in np.unique(pumps):
+                    member = np.nonzero(window & (pumps == pump))[0]
+                    if member.size < min_history_per_pump:
+                        continue
+                    life = true_life_days.get(int(pump))
+                    if life is None:
+                        continue
+                    order = member[np.argsort(service[member])]
+                    prediction = engine.predict(service[order], features[order])
+                    latest_service = float(service[order].max())
+                    true_rul = life - latest_service
+                    points.append(
+                        BacktestPoint(
+                            pump_id=int(pump),
+                            asof_day=float(asof),
+                            lead_time_days=float(true_rul),
+                            predicted_rul_days=float(prediction.rul_days),
+                            true_rul_days=float(true_rul),
+                        )
+                    )
+        asof += refresh_every_days
+    return BacktestResult(points=points)

@@ -1,0 +1,91 @@
+"""Classification evaluation: confusion matrices, precision, recall, accuracy.
+
+Implements exactly the quantities reported by the paper's Figs. 12–14 and
+Table III: per-zone precision and recall, their macro average, and overall
+accuracy, plus the zone-by-zone confusion table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classify import ZONES
+
+
+def confusion_matrix(
+    true_labels: np.ndarray,
+    predicted_labels: np.ndarray,
+    classes: tuple[str, ...] = ZONES,
+) -> np.ndarray:
+    """Confusion counts ``C[i, j]`` = truth ``classes[i]`` predicted ``classes[j]``."""
+    truth = np.asarray(true_labels)
+    pred = np.asarray(predicted_labels)
+    if truth.shape != pred.shape:
+        raise ValueError("true and predicted labels must align")
+    index = {cls: i for i, cls in enumerate(classes)}
+    matrix = np.zeros((len(classes), len(classes)), dtype=np.int64)
+    for t, p in zip(truth, pred):
+        if t not in index:
+            raise ValueError(f"unknown true label {t!r}")
+        if p not in index:
+            raise ValueError(f"unknown predicted label {p!r}")
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Per-class and aggregate classification quality.
+
+    Attributes:
+        classes: class order of the per-class arrays.
+        matrix: confusion matrix in that order.
+        precision: per-class precision (NaN-free: 0 when undefined).
+        recall: per-class recall.
+        accuracy: overall fraction correct.
+    """
+
+    classes: tuple[str, ...]
+    matrix: np.ndarray
+    precision: np.ndarray
+    recall: np.ndarray
+    accuracy: float
+
+    @property
+    def macro_precision(self) -> float:
+        return float(self.precision.mean())
+
+    @property
+    def macro_recall(self) -> float:
+        return float(self.recall.mean())
+
+    def per_class(self, cls: str) -> tuple[float, float]:
+        """``(precision, recall)`` of one class."""
+        idx = self.classes.index(cls)
+        return float(self.precision[idx]), float(self.recall[idx])
+
+
+def evaluate_labels(
+    true_labels: np.ndarray,
+    predicted_labels: np.ndarray,
+    classes: tuple[str, ...] = ZONES,
+) -> ClassificationReport:
+    """Build a full report from aligned truth/prediction arrays."""
+    matrix = confusion_matrix(true_labels, predicted_labels, classes)
+    col_sums = matrix.sum(axis=0).astype(np.float64)
+    row_sums = matrix.sum(axis=1).astype(np.float64)
+    diag = np.diag(matrix).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        precision = np.where(col_sums > 0, diag / col_sums, 0.0)
+        recall = np.where(row_sums > 0, diag / row_sums, 0.0)
+    total = matrix.sum()
+    accuracy = float(diag.sum() / total) if total else 0.0
+    return ClassificationReport(
+        classes=tuple(classes),
+        matrix=matrix,
+        precision=precision,
+        recall=recall,
+        accuracy=accuracy,
+    )

@@ -1,0 +1,166 @@
+"""Changepoint detection on degradation feature series.
+
+A pump replacement resets the degradation feature to its healthy level —
+a large downward step in the ``D_a`` series.  When maintenance records
+are complete, the pipeline splits sensor epochs on service-time resets;
+when they are *not* (a chronically real fab problem: undocumented swaps,
+CMMS lag), the step itself is the only evidence.  This module detects
+such level shifts directly from the data.
+
+The detector is binary segmentation with a squared-error cost: the split
+that most reduces the series' total squared deviation from its segment
+means is accepted when the reduction is significant relative to the
+residual noise, then each side is searched recursively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Changepoint:
+    """One detected level shift.
+
+    Attributes:
+        index: first index of the new regime.
+        mean_before: segment mean left of the split.
+        mean_after: segment mean right of the split.
+    """
+
+    index: int
+    mean_before: float
+    mean_after: float
+
+    @property
+    def step(self) -> float:
+        """Signed level change (negative for a replacement-style drop)."""
+        return self.mean_after - self.mean_before
+
+
+def _best_split(values: np.ndarray) -> tuple[int, float]:
+    """Best split index and its cost reduction for one segment.
+
+    Cost is the total squared deviation from segment means; the returned
+    index is the start of the right part.  O(n) via prefix sums.
+    """
+    n = values.size
+    total_sum = values.sum()
+    total_sq = (values**2).sum()
+    base_cost = total_sq - total_sum**2 / n
+
+    prefix_sum = np.cumsum(values)[:-1]
+    prefix_sq = np.cumsum(values**2)[:-1]
+    left_n = np.arange(1, n)
+    right_n = n - left_n
+    left_cost = prefix_sq - prefix_sum**2 / left_n
+    right_sum = total_sum - prefix_sum
+    right_sq = total_sq - prefix_sq
+    right_cost = right_sq - right_sum**2 / right_n
+    split_cost = left_cost + right_cost
+    best = int(np.argmin(split_cost))
+    return best + 1, float(base_cost - split_cost[best])
+
+
+def detect_changepoints(
+    values: np.ndarray,
+    min_segment: int = 5,
+    penalty_scale: float = 8.0,
+) -> list[Changepoint]:
+    """Detect level shifts by binary segmentation.
+
+    Args:
+        values: 1-D feature series (e.g. a pump's smoothed ``D_a``).
+        min_segment: smallest allowed segment length on either side of a
+            split (suppresses single-outlier "changes").
+        penalty_scale: a split is accepted when its cost reduction
+            exceeds ``penalty_scale * sigma^2 * log(n)`` where ``sigma``
+            is the series' robust noise estimate — the BIC-style penalty
+            that keeps pure noise split-free.
+
+    Returns:
+        Changepoints in index order (possibly empty).
+    """
+    series = np.asarray(values, dtype=np.float64).ravel()
+    if not np.all(np.isfinite(series)):
+        raise ValueError("series must be finite")
+    if min_segment < 2:
+        raise ValueError("min_segment must be at least 2")
+    if penalty_scale <= 0:
+        raise ValueError("penalty_scale must be positive")
+    n = series.size
+    if n < 2 * min_segment:
+        return []
+
+    # Robust noise estimate from first differences (level shifts affect
+    # only a handful of the differences).
+    diffs = np.diff(series)
+    sigma = 1.4826 * float(np.median(np.abs(diffs - np.median(diffs)))) / np.sqrt(2)
+    if sigma <= 0:
+        sigma = float(series.std()) * 0.1 or 1e-12
+    penalty = penalty_scale * sigma**2 * np.log(n)
+    # Floor against floating-point gain noise on (near-)constant series:
+    # prefix-sum cancellation produces "gains" around 1e-17 * scale².
+    scale = max(float(np.abs(series).max()), 1.0)
+    penalty = max(penalty, 1e-9 * scale**2)
+
+    splits: list[int] = []
+
+    def recurse(lo: int, hi: int) -> None:
+        segment = series[lo:hi]
+        if segment.size < 2 * min_segment:
+            return
+        split, gain = _best_split(segment)
+        if gain < penalty:
+            return
+        if split < min_segment or segment.size - split < min_segment:
+            return
+        absolute = lo + split
+        splits.append(absolute)
+        recurse(lo, absolute)
+        recurse(absolute, hi)
+
+    recurse(0, n)
+    splits.sort()
+
+    out = []
+    boundaries = [0] + splits + [n]
+    for i, split in enumerate(splits):
+        left = series[boundaries[i] : split]
+        right = series[split : boundaries[i + 2]]
+        out.append(
+            Changepoint(
+                index=split,
+                mean_before=float(left.mean()),
+                mean_after=float(right.mean()),
+            )
+        )
+    return out
+
+
+def detect_replacements(
+    da_series: np.ndarray,
+    min_drop: float = 0.1,
+    min_segment: int = 5,
+) -> list[int]:
+    """Indices where an undocumented replacement likely happened.
+
+    A replacement is a changepoint whose level *drops* by at least
+    ``min_drop`` — degradation only rises, so a large downward step in
+    ``D_a`` means fresh hardware.
+
+    Args:
+        da_series: one pump's ``D_a`` series in time order.
+        min_drop: smallest drop (in feature units) to call a replacement.
+        min_segment: passed through to the changepoint detector.
+
+    Returns:
+        Sorted indices of the first measurement after each detected
+        replacement.
+    """
+    if min_drop <= 0:
+        raise ValueError("min_drop must be positive")
+    changes = detect_changepoints(da_series, min_segment=min_segment)
+    return [c.index for c in changes if c.step <= -min_drop]

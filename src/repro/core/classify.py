@@ -1,0 +1,227 @@
+"""Zone classification from scalar degradation features (Sec. IV-C, Figs. 11-14).
+
+The paper classifies each measurement into ISO-style health zones using a
+single scalar feature: the peak harmonic distance ``D_a`` from a healthy
+(Zone A) exemplar.  Because ``D_a`` grows monotonically with degradation,
+classification reduces to learning thresholds between adjacent zones that
+minimize empirical error.  The same threshold machinery is reused for the
+baseline feature metrics of Figs. 12–14 (Euclidean distance, Mahalanobis
+distance, and raw temperature), which makes the comparison apples-to-apples:
+only the feature changes.
+
+Zones follow Sec. V-A: ``A`` (healthy), ``BC`` (caution; the paper merges
+B and C for labeling) and ``D`` (hazard).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import MahalanobisMetric, peak_harmonic_distance
+from repro.core.kde import min_error_threshold
+from repro.core.peaks import (
+    DEFAULT_NUM_PEAKS,
+    DEFAULT_WINDOW_SIZE,
+    HarmonicPeaks,
+    extract_harmonic_peaks,
+)
+
+ZONE_A = "A"
+ZONE_BC = "BC"
+ZONE_D = "D"
+ZONES = (ZONE_A, ZONE_BC, ZONE_D)
+
+
+class OrderedThresholdClassifier:
+    """Multi-class classifier over a scalar feature with ordered classes.
+
+    For classes ``c_0 < c_1 < ... < c_k`` in feature order, a boundary is
+    learned between every adjacent pair by minimizing empirical
+    misclassification error; prediction is a simple digitization of the
+    feature value against the boundaries.
+    """
+
+    def __init__(self, classes: tuple[str, ...] = ZONES):
+        if len(classes) < 2:
+            raise ValueError("need at least two classes")
+        if len(set(classes)) != len(classes):
+            raise ValueError("classes must be unique")
+        self.classes = tuple(classes)
+        self.thresholds_: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray, labels: np.ndarray) -> "OrderedThresholdClassifier":
+        """Learn inter-class boundaries from labelled scalar features.
+
+        Args:
+            values: scalar feature per training sample.
+            labels: class label per training sample; every configured
+                class must appear at least once.
+        """
+        vals = np.asarray(values, dtype=np.float64).ravel()
+        labs = np.asarray(labels)
+        if vals.shape[0] != labs.shape[0]:
+            raise ValueError("values and labels must have equal length")
+        groups = {}
+        for cls in self.classes:
+            member_vals = vals[labs == cls]
+            if member_vals.size == 0:
+                raise ValueError(f"no training samples for class {cls!r}")
+            groups[cls] = member_vals
+        thresholds = [
+            min_error_threshold(groups[lo], groups[hi])
+            for lo, hi in zip(self.classes[:-1], self.classes[1:])
+        ]
+        # Pathological label noise can invert adjacent boundaries; the
+        # class order is structural, so enforce monotone thresholds (an
+        # inverted pair collapses to the same cut point).
+        self.thresholds_ = np.maximum.accumulate(
+            np.asarray(thresholds, dtype=np.float64)
+        )
+        return self
+
+    def predict(self, values: np.ndarray) -> np.ndarray:
+        """Predict a class label per scalar feature value."""
+        if self.thresholds_ is None:
+            raise RuntimeError("classifier is not fitted")
+        vals = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        idx = np.searchsorted(self.thresholds_, vals, side="left")
+        classes = np.asarray(self.classes, dtype=object)
+        return classes[idx]
+
+
+class PeakHarmonicFeature:
+    """The paper's ``D_a`` feature: peak harmonic distance from Zone A.
+
+    The Zone A exemplar is the harmonic peak feature of the *mean PSD* of
+    the healthy training samples, which is more stable than any single
+    measurement (joint smoothing over time and frequency, as Sec. IV-B
+    recommends).
+    """
+
+    def __init__(
+        self,
+        num_peaks: int = DEFAULT_NUM_PEAKS,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+    ):
+        self.num_peaks = num_peaks
+        self.window_size = window_size
+        self.baseline_: HarmonicPeaks | None = None
+
+    def fit(self, reference_psds: np.ndarray, frequencies: np.ndarray) -> "PeakHarmonicFeature":
+        """Build the Zone A baseline from reference PSD rows ``(n, K)``."""
+        ref = np.atleast_2d(np.asarray(reference_psds, dtype=np.float64))
+        if ref.shape[0] == 0:
+            raise ValueError("at least one reference PSD is required")
+        mean_psd = ref.mean(axis=0)
+        self.baseline_ = extract_harmonic_peaks(
+            mean_psd, frequencies, num_peaks=self.num_peaks, window_size=self.window_size
+        )
+        return self
+
+    def score(self, psd: np.ndarray, frequencies: np.ndarray) -> float:
+        """``D_a`` of one PSD vector from the fitted Zone A baseline."""
+        if self.baseline_ is None:
+            raise RuntimeError("feature is not fitted")
+        peaks = extract_harmonic_peaks(
+            psd, frequencies, num_peaks=self.num_peaks, window_size=self.window_size
+        )
+        return peak_harmonic_distance(peaks, self.baseline_)
+
+    def score_many(self, psds: np.ndarray, frequencies: np.ndarray) -> np.ndarray:
+        """Vectorized ``score`` over PSD rows ``(n, K)``."""
+        rows = np.atleast_2d(np.asarray(psds, dtype=np.float64))
+        return np.asarray([self.score(row, frequencies) for row in rows])
+
+
+class EuclideanFeature:
+    """Baseline feature: Euclidean distance of the PSD from the Zone A mean."""
+
+    def __init__(self) -> None:
+        self.baseline_: np.ndarray | None = None
+
+    def fit(self, reference_psds: np.ndarray, frequencies: np.ndarray) -> "EuclideanFeature":
+        ref = np.atleast_2d(np.asarray(reference_psds, dtype=np.float64))
+        if ref.shape[0] == 0:
+            raise ValueError("at least one reference PSD is required")
+        self.baseline_ = ref.mean(axis=0)
+        return self
+
+    def score(self, psd: np.ndarray, frequencies: np.ndarray) -> float:
+        if self.baseline_ is None:
+            raise RuntimeError("feature is not fitted")
+        return float(np.linalg.norm(np.asarray(psd, dtype=np.float64) - self.baseline_))
+
+    def score_many(self, psds: np.ndarray, frequencies: np.ndarray) -> np.ndarray:
+        rows = np.atleast_2d(np.asarray(psds, dtype=np.float64))
+        return np.asarray([self.score(row, frequencies) for row in rows])
+
+
+class MahalanobisFeature:
+    """Baseline feature: Mahalanobis distance from the Zone A distribution."""
+
+    def __init__(self, shrinkage: float = 0.5):
+        self.shrinkage = shrinkage
+        self.metric_: MahalanobisMetric | None = None
+
+    def fit(self, reference_psds: np.ndarray, frequencies: np.ndarray) -> "MahalanobisFeature":
+        self.metric_ = MahalanobisMetric(reference_psds, shrinkage=self.shrinkage)
+        return self
+
+    def score(self, psd: np.ndarray, frequencies: np.ndarray) -> float:
+        if self.metric_ is None:
+            raise RuntimeError("feature is not fitted")
+        return self.metric_.distance(psd)
+
+    def score_many(self, psds: np.ndarray, frequencies: np.ndarray) -> np.ndarray:
+        if self.metric_ is None:
+            raise RuntimeError("feature is not fitted")
+        return self.metric_.distance_many(np.atleast_2d(np.asarray(psds)))
+
+
+class ZoneClassifier:
+    """End-to-end zone classifier: a scalar feature + ordered thresholds.
+
+    This is the paper's Peak Harmonic Distance Classification algorithm
+    when constructed with the default feature, and each Figs. 12–14
+    baseline when constructed with the corresponding feature object.
+    """
+
+    def __init__(self, feature=None, classes: tuple[str, ...] = ZONES):
+        self.feature = feature if feature is not None else PeakHarmonicFeature()
+        self.classifier = OrderedThresholdClassifier(classes)
+        self.reference_class = classes[0]
+
+    def fit(
+        self,
+        psds: np.ndarray,
+        labels: np.ndarray,
+        frequencies: np.ndarray,
+    ) -> "ZoneClassifier":
+        """Fit the feature baseline and the zone thresholds.
+
+        Args:
+            psds: training PSD rows ``(n, K)``.
+            labels: zone label per row.
+            frequencies: PSD bin frequencies ``(K,)``.
+        """
+        rows = np.atleast_2d(np.asarray(psds, dtype=np.float64))
+        labs = np.asarray(labels)
+        reference = rows[labs == self.reference_class]
+        if reference.shape[0] == 0:
+            raise ValueError(f"no {self.reference_class!r} samples to build the baseline")
+        self.feature.fit(reference, frequencies)
+        scores = self.feature.score_many(rows, frequencies)
+        self.classifier.fit(scores, labs)
+        return self
+
+    def decision_scores(self, psds: np.ndarray, frequencies: np.ndarray) -> np.ndarray:
+        """Scalar feature value (e.g. ``D_a``) per PSD row."""
+        return self.feature.score_many(psds, frequencies)
+
+    def predict(self, psds: np.ndarray, frequencies: np.ndarray) -> np.ndarray:
+        """Predict the zone label per PSD row."""
+        return self.classifier.predict(self.decision_scores(psds, frequencies))
+
+    @property
+    def thresholds_(self) -> np.ndarray | None:
+        return self.classifier.thresholds_

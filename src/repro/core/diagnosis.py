@@ -1,0 +1,150 @@
+"""Rule-based fault diagnosis from harmonic peak features.
+
+The paper's fab experts label pump health by *reading the spectrum* —
+this module encodes that reading as an explainable rule engine over the
+harmonic peak feature, the standard analyst's decision table:
+
+* energy concentrated at 1× rotation → imbalance;
+* 2× dominating 1× → misalignment;
+* a long comb of comparable rotation harmonics → mechanical looseness;
+* significant energy at non-integer multiples of the rotation frequency
+  (bearing defect passing frequencies) → bearing defect.
+
+Diagnosis consumes only the :class:`~repro.core.peaks.HarmonicPeaks`
+feature and the machine's nominal rotation frequency, so it slots into
+the analysis pipeline after feature extraction with zero extra sensing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.peaks import HarmonicPeaks
+
+IMBALANCE = "imbalance"
+MISALIGNMENT = "misalignment"
+LOOSENESS = "looseness"
+BEARING_DEFECT = "bearing_defect"
+HEALTHY = "healthy"
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Outcome of one spectral diagnosis.
+
+    Attributes:
+        label: the winning fault class (or ``"healthy"``).
+        scores: per-class evidence scores (higher = more evidence); the
+            explainability surface an analyst can audit.
+    """
+
+    label: str
+    scores: dict[str, float]
+
+
+class SpectralDiagnoser:
+    """Explainable fault classifier over harmonic peak features."""
+
+    def __init__(
+        self,
+        rotation_hz: float,
+        harmonic_tolerance: float = 0.25,
+        healthy_margin: float = 1.6,
+    ):
+        """Create a diagnoser.
+
+        Args:
+            rotation_hz: nominal rotation frequency of the machine.
+            harmonic_tolerance: a peak within this fraction of the
+                rotation frequency of an exact multiple counts as that
+                harmonic order (covers speed droop and bin quantization).
+            healthy_margin: how many times the healthy baseline's 1x
+                amplitude the evidence must reach before any fault is
+                called.
+        """
+        if rotation_hz <= 0:
+            raise ValueError("rotation_hz must be positive")
+        if not 0 < harmonic_tolerance < 0.5:
+            raise ValueError("harmonic_tolerance must be in (0, 0.5)")
+        if healthy_margin <= 0:
+            raise ValueError("healthy_margin must be positive")
+        self.rotation_hz = rotation_hz
+        self.harmonic_tolerance = harmonic_tolerance
+        self.healthy_margin = healthy_margin
+        self.baseline_fundamental_: float | None = None
+
+    def fit_baseline(self, healthy_peaks: HarmonicPeaks) -> "SpectralDiagnoser":
+        """Record the healthy machine's 1x amplitude as the reference."""
+        amp = self._harmonic_amplitude(healthy_peaks, 1)
+        self.baseline_fundamental_ = max(amp, 1e-12)
+        return self
+
+    # ------------------------------------------------------------------
+    # Peak bookkeeping.
+    # ------------------------------------------------------------------
+    def _order_of(self, frequency: float) -> float:
+        return frequency / self.rotation_hz
+
+    def _is_harmonic(self, frequency: float) -> int | None:
+        """Integer order when the frequency is a rotation harmonic."""
+        order = self._order_of(frequency)
+        nearest = round(order)
+        if nearest >= 1 and abs(order - nearest) <= self.harmonic_tolerance:
+            return int(nearest)
+        return None
+
+    def _harmonic_amplitude(self, peaks: HarmonicPeaks, order: int) -> float:
+        best = 0.0
+        for f, p in zip(peaks.frequencies, peaks.values):
+            if self._is_harmonic(f) == order:
+                best = max(best, float(p))
+        return best
+
+    # ------------------------------------------------------------------
+    # Diagnosis.
+    # ------------------------------------------------------------------
+    def diagnose(self, peaks: HarmonicPeaks) -> Diagnosis:
+        """Classify the fault carried by one harmonic peak feature.
+
+        Raises:
+            RuntimeError: when no healthy baseline has been fitted.
+        """
+        if self.baseline_fundamental_ is None:
+            raise RuntimeError("fit_baseline() must run before diagnose()")
+        if len(peaks) == 0:
+            return Diagnosis(HEALTHY, {})
+
+        baseline = self.baseline_fundamental_
+        h1 = self._harmonic_amplitude(peaks, 1)
+        h2 = self._harmonic_amplitude(peaks, 2)
+
+        non_harmonic_amp = 0.0
+        for f, p in zip(peaks.frequencies, peaks.values):
+            if self._is_harmonic(f) is None and self._order_of(f) > 1.5:
+                # Non-integer multiples above ~1.5x: bearing territory.
+                non_harmonic_amp += float(p)
+
+        # High harmonic orders (>= 4) with energy comparable to the
+        # healthy fundamental: the defining comb of mechanical looseness.
+        high_orders = {
+            order
+            for f, p in zip(peaks.frequencies, peaks.values)
+            if (order := self._is_harmonic(f)) is not None
+            and order >= 4
+            and p > 0.3 * baseline
+        }
+
+        scores = {
+            # Imbalance: 1x grossly above baseline AND dominating 2x.
+            IMBALANCE: (h1 / baseline) * (h1 / max(h2, 1e-12) > 2.0),
+            # Misalignment: 2x above baseline and dominating 1x.
+            MISALIGNMENT: (h2 / baseline) * (h2 > 1.2 * h1),
+            # Looseness: a long comb of energetic high harmonics.
+            LOOSENESS: len(high_orders) / 2.0,
+            # Bearing: substantial non-harmonic energy relative to baseline.
+            BEARING_DEFECT: non_harmonic_amp / baseline,
+        }
+        best_label = max(scores, key=scores.get)
+        if scores[best_label] < self.healthy_margin:
+            return Diagnosis(HEALTHY, scores)
+        return Diagnosis(best_label, scores)

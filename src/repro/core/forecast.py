@@ -1,0 +1,200 @@
+"""Degradation-trajectory forecasting (the paper's future-work extension).
+
+Sec. VII proposes adding *sequential models* so the engine tracks each
+equipment's own ageing dynamics instead of projecting a population line.
+Offline (no deep-learning stack), two classical sequence models cover the
+idea end to end:
+
+* :class:`HoltLinearForecaster` — double exponential smoothing with a
+  damped trend: an online level+trend state per pump, updated per
+  measurement, that extrapolates the pump's *current* degradation rate.
+* :class:`ARForecaster` — an autoregressive model of order ``p`` fitted
+  by least squares on the pump's recent increments.
+
+Both expose :meth:`forecast` for the feature trajectory and
+:func:`crossing_forecast` converts a forecast into a threshold-crossing
+(RUL) estimate, comparable head-to-head with the recursive-RANSAC
+projection (see ``benchmarks/test_ablation_forecasting.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CrossingForecast:
+    """Outcome of a threshold-crossing forecast.
+
+    Attributes:
+        crossing_step: number of *future steps* until the forecast first
+            reaches the threshold (``inf`` when it never does inside the
+            horizon).
+        crossed_already: the last observation is already at/over the
+            threshold.
+    """
+
+    crossing_step: float
+    crossed_already: bool
+
+
+class HoltLinearForecaster:
+    """Holt's linear (double exponential) smoothing with damped trend.
+
+    State: a level ``l`` and a trend ``b`` per series, updated as
+
+    ``l_t = α y_t + (1-α)(l_{t-1} + φ b_{t-1})``
+    ``b_t = β (l_t - l_{t-1}) + (1-β) φ b_{t-1}``
+
+    and forecast ``ŷ_{t+h} = l_t + (φ + φ² + ... + φ^h) b_t``.
+    """
+
+    def __init__(self, alpha: float = 0.3, beta: float = 0.1, damping: float = 0.98):
+        """Create a forecaster.
+
+        Args:
+            alpha: level smoothing factor in (0, 1].
+            beta: trend smoothing factor in (0, 1].
+            damping: trend damping ``φ`` in (0, 1]; 1 is undamped Holt.
+        """
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0 < beta <= 1:
+            raise ValueError("beta must be in (0, 1]")
+        if not 0 < damping <= 1:
+            raise ValueError("damping must be in (0, 1]")
+        self.alpha = alpha
+        self.beta = beta
+        self.damping = damping
+        self.level_: float | None = None
+        self.trend_: float | None = None
+
+    def fit(self, series: np.ndarray) -> "HoltLinearForecaster":
+        """Run the smoother over a full series (at least 2 points)."""
+        values = np.asarray(series, dtype=np.float64).ravel()
+        if values.size < 2:
+            raise ValueError("need at least 2 observations")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("series must be finite")
+        self.level_ = float(values[0])
+        self.trend_ = float(values[1] - values[0])
+        for y in values[1:]:
+            self.update(float(y))
+        return self
+
+    def update(self, value: float) -> None:
+        """Consume one new observation (online usage)."""
+        if self.level_ is None or self.trend_ is None:
+            self.level_ = value
+            self.trend_ = 0.0
+            return
+        prev_level = self.level_
+        damped_trend = self.damping * self.trend_
+        self.level_ = self.alpha * value + (1 - self.alpha) * (prev_level + damped_trend)
+        self.trend_ = self.beta * (self.level_ - prev_level) + (1 - self.beta) * damped_trend
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Forecast the next ``horizon`` steps."""
+        if self.level_ is None or self.trend_ is None:
+            raise RuntimeError("forecaster is not fitted")
+        if horizon < 1:
+            raise ValueError("horizon must be positive")
+        phi = self.damping
+        steps = np.arange(1, horizon + 1)
+        if phi == 1.0:
+            trend_sum = steps.astype(np.float64)
+        else:
+            trend_sum = phi * (1 - phi**steps) / (1 - phi)
+        return self.level_ + trend_sum * self.trend_
+
+
+class ARForecaster:
+    """Autoregressive forecaster on first differences.
+
+    Fits ``Δy_t = c + Σ_i a_i Δy_{t-i}`` by least squares and rolls the
+    recursion forward; forecasting differences rather than levels keeps
+    the model stationary on trending degradation series.
+    """
+
+    def __init__(self, order: int = 3, ridge: float = 1e-6):
+        """Create a forecaster.
+
+        Args:
+            order: number of lagged differences ``p``.
+            ridge: L2 regularization on the coefficients.
+        """
+        if order < 1:
+            raise ValueError("order must be positive")
+        if ridge < 0:
+            raise ValueError("ridge must be non-negative")
+        self.order = order
+        self.ridge = ridge
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+        self._history: np.ndarray | None = None
+
+    def fit(self, series: np.ndarray) -> "ARForecaster":
+        """Fit on a series with at least ``order + 2`` observations."""
+        values = np.asarray(series, dtype=np.float64).ravel()
+        if values.size < self.order + 2:
+            raise ValueError(f"need at least {self.order + 2} observations")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("series must be finite")
+        diffs = np.diff(values)
+        p = self.order
+        rows = [diffs[i : i + p][::-1] for i in range(diffs.size - p)]
+        design = np.column_stack([np.ones(len(rows)), np.stack(rows)])
+        target = diffs[p:]
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        solution = np.linalg.solve(gram, design.T @ target)
+        self.intercept_ = float(solution[0])
+        self.coef_ = solution[1:]
+        self._history = values[-(p + 1) :].copy()
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Forecast the next ``horizon`` levels."""
+        if self.coef_ is None or self._history is None:
+            raise RuntimeError("forecaster is not fitted")
+        if horizon < 1:
+            raise ValueError("horizon must be positive")
+        recent_diffs = list(np.diff(self._history))
+        level = float(self._history[-1])
+        out = np.empty(horizon)
+        for h in range(horizon):
+            lags = np.asarray(recent_diffs[-self.order :][::-1])
+            step = self.intercept_ + float(self.coef_ @ lags)
+            level += step
+            recent_diffs.append(step)
+            out[h] = level
+        return out
+
+
+def crossing_forecast(
+    forecaster,
+    last_value: float,
+    threshold: float,
+    horizon: int = 2000,
+) -> CrossingForecast:
+    """When does a fitted forecaster's trajectory reach ``threshold``?
+
+    Args:
+        forecaster: fitted object with ``forecast(horizon)``.
+        last_value: most recent observation (decides ``crossed_already``).
+        threshold: hazard boundary on the feature.
+        horizon: maximum future steps to examine.
+
+    Returns:
+        CrossingForecast; ``crossing_step`` is 1-based (the first future
+        step at/over the threshold), ``inf`` when the horizon is never
+        crossed, and 0 when already crossed.
+    """
+    if last_value >= threshold:
+        return CrossingForecast(crossing_step=0.0, crossed_already=True)
+    trajectory = forecaster.forecast(horizon)
+    over = np.nonzero(trajectory >= threshold)[0]
+    if over.size == 0:
+        return CrossingForecast(crossing_step=np.inf, crossed_already=False)
+    return CrossingForecast(crossing_step=float(over[0] + 1), crossed_already=False)

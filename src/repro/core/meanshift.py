@@ -1,0 +1,152 @@
+"""Mean-shift clustering (Comaniciu & Meer, 2002).
+
+The preprocessing layer uses mean shift over the 3-D per-measurement
+acceleration averages to detect invalid measurements produced by sensor
+offset drift or abrupt offset jumps (Fig. 8 of the paper).  scikit-learn is
+unavailable offline, so this is a from-scratch implementation with a flat
+(uniform ball) kernel, the variant used in sklearn's ``MeanShift``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MeanShiftResult:
+    """Outcome of a mean-shift run.
+
+    Attributes:
+        labels: cluster index per input point, shape ``(n,)``.
+        centers: cluster modes, shape ``(n_clusters, d)``, ordered by
+            descending cluster size.
+        bandwidth: bandwidth actually used (estimated when not supplied).
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    bandwidth: float
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.centers.shape[0])
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of members per cluster, aligned with ``centers``."""
+        return np.bincount(self.labels, minlength=self.n_clusters)
+
+
+def estimate_bandwidth(points: np.ndarray, quantile: float = 0.3) -> float:
+    """Bandwidth estimate: the given quantile of pairwise distances.
+
+    Mirrors sklearn's ``estimate_bandwidth`` heuristic (average distance to
+    the k-th nearest neighbour with ``k = quantile * n``), computed exactly
+    for the moderate point counts used here.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n = pts.shape[0]
+    if n < 2:
+        return 1.0
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError("quantile must be in (0, 1]")
+    diffs = pts[:, None, :] - pts[None, :, :]
+    dists = np.sqrt((diffs**2).sum(axis=2))
+    k = max(1, min(n - 1, int(round(quantile * n))))
+    kth = np.sort(dists, axis=1)[:, k]
+    bandwidth = float(kth.mean())
+    if bandwidth <= 0:
+        # All points coincide along the k-th neighbour; fall back to the
+        # largest pairwise distance or unity.
+        bandwidth = float(dists.max()) or 1.0
+    return bandwidth
+
+
+class MeanShift:
+    """Flat-kernel mean-shift clustering.
+
+    Every input point is used as a seed; each seed iteratively moves to the
+    mean of the points within ``bandwidth`` until convergence, and the
+    converged modes are merged when closer than ``bandwidth``.  Points are
+    finally labeled by their nearest mode.
+    """
+
+    def __init__(
+        self,
+        bandwidth: float | None = None,
+        max_iterations: int = 300,
+        convergence_tol: float | None = None,
+    ):
+        """Create a clusterer.
+
+        Args:
+            bandwidth: flat-kernel radius; estimated from the data when
+                None.
+            max_iterations: per-seed iteration cap.
+            convergence_tol: movement below which a seed is converged;
+                defaults to ``1e-3 * bandwidth``.
+        """
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be positive")
+        self.bandwidth = bandwidth
+        self.max_iterations = max_iterations
+        self.convergence_tol = convergence_tol
+
+    def fit(self, points: np.ndarray) -> MeanShiftResult:
+        """Cluster ``points`` of shape ``(n, d)``."""
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if pts.ndim != 2:
+            raise ValueError("points must be a 2-D array (n, d)")
+        n = pts.shape[0]
+        if n == 0:
+            raise ValueError("cannot cluster an empty point set")
+        bandwidth = self.bandwidth if self.bandwidth is not None else estimate_bandwidth(pts)
+        tol = self.convergence_tol if self.convergence_tol is not None else 1e-3 * bandwidth
+
+        modes = pts.copy()
+        for seed_idx in range(n):
+            center = modes[seed_idx]
+            for _ in range(self.max_iterations):
+                dists = np.linalg.norm(pts - center, axis=1)
+                members = dists <= bandwidth
+                new_center = pts[members].mean(axis=0)
+                shift = float(np.linalg.norm(new_center - center))
+                center = new_center
+                if shift < tol:
+                    break
+            modes[seed_idx] = center
+
+        centers = _merge_modes(modes, bandwidth)
+        # Label points by the nearest merged mode.
+        dists = np.linalg.norm(pts[:, None, :] - centers[None, :, :], axis=2)
+        labels = dists.argmin(axis=1)
+        # Reorder clusters by descending size so label 0 is the main cluster.
+        sizes = np.bincount(labels, minlength=centers.shape[0])
+        order = np.argsort(sizes)[::-1]
+        remap = np.empty_like(order)
+        remap[order] = np.arange(order.size)
+        return MeanShiftResult(labels=remap[labels], centers=centers[order], bandwidth=bandwidth)
+
+
+def _merge_modes(modes: np.ndarray, bandwidth: float) -> np.ndarray:
+    """Greedily merge converged modes closer than ``bandwidth``.
+
+    Modes are processed in descending local-density order (number of other
+    modes within the bandwidth) so denser basins absorb their satellites,
+    as in the reference implementation.
+    """
+    n = modes.shape[0]
+    dists = np.linalg.norm(modes[:, None, :] - modes[None, :, :], axis=2)
+    density = (dists <= bandwidth).sum(axis=1)
+    order = np.argsort(density)[::-1]
+    kept: list[int] = []
+    suppressed = np.zeros(n, dtype=bool)
+    for idx in order:
+        if suppressed[idx]:
+            continue
+        kept.append(idx)
+        suppressed |= dists[idx] <= bandwidth
+    return modes[kept]

@@ -1,0 +1,154 @@
+"""Harmonic peak feature extraction (Sec. IV-B).
+
+Raw PSD vectors are high dimensional (1024 bins) and noisy, which makes them
+poor direct inputs for regression: the Gram matrix ``s^T s`` is typically
+singular and per-bin amplitudes fluctuate heavily between measurements.  The
+paper's remedy is a *harmonic peak feature*: the set of the ``n_p`` most
+significant spectral peaks, each represented by its ``(frequency, amplitude)``
+pair.
+
+The extraction procedure is exactly the paper's:
+
+1. smooth the PSD over adjacent frequency bins with a Hann window of size
+   ``n_h`` (24 by default), and
+2. find the points where the first-order differential changes from positive
+   to negative (local maxima of the smoothed PSD),
+
+then keep the ``n_p`` (20 by default) highest peaks, reported in increasing
+frequency order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.window import smooth_hann
+
+DEFAULT_NUM_PEAKS = 20
+DEFAULT_WINDOW_SIZE = 24
+
+
+@dataclass(frozen=True)
+class HarmonicPeaks:
+    """Harmonic peak feature ``p_n = {(f_nk, p_nk)}`` of one measurement.
+
+    Attributes:
+        frequencies: peak frequencies in Hz, strictly increasing.
+        values: peak amplitudes (same units as the input PSD), aligned with
+            ``frequencies``.
+    """
+
+    frequencies: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        freqs = np.asarray(self.frequencies, dtype=np.float64)
+        vals = np.asarray(self.values, dtype=np.float64)
+        if freqs.shape != vals.shape or freqs.ndim != 1:
+            raise ValueError("frequencies and values must be 1-D arrays of equal length")
+        if freqs.size > 1 and not np.all(np.diff(freqs) > 0):
+            raise ValueError("peak frequencies must be strictly increasing")
+        object.__setattr__(self, "frequencies", freqs)
+        object.__setattr__(self, "values", vals)
+
+    def __len__(self) -> int:
+        return int(self.frequencies.size)
+
+    def as_pairs(self) -> np.ndarray:
+        """Peaks as an ``(n, 2)`` array of ``(frequency, value)`` rows."""
+        return np.stack([self.frequencies, self.values], axis=1)
+
+    @property
+    def max_value(self) -> float:
+        """Largest peak amplitude, 0.0 when there are no peaks."""
+        return float(self.values.max()) if len(self) else 0.0
+
+    @property
+    def max_frequency(self) -> float:
+        """Largest peak frequency, 0.0 when there are no peaks."""
+        return float(self.frequencies.max()) if len(self) else 0.0
+
+
+def _local_maxima(values: np.ndarray) -> np.ndarray:
+    """Indices where the first-order differential flips positive→negative.
+
+    Plateau maxima (exactly equal neighbours) are attributed to the first
+    bin of the plateau.  Endpoints are never reported as peaks, matching
+    the paper's sign-change criterion, except that a series rising into the
+    last bin has no sign change and therefore no peak there.
+    """
+    if values.size < 3:
+        return np.empty(0, dtype=np.intp)
+    diff = np.diff(values)
+    # Treat zero differences as continuing the previous trend so plateaus
+    # produce a single sign change at their leading edge.
+    sign = np.sign(diff)
+    for i in range(1, sign.size):
+        if sign[i] == 0:
+            sign[i] = sign[i - 1]
+    rising = sign[:-1] > 0
+    falling = sign[1:] < 0
+    return np.nonzero(rising & falling)[0] + 1
+
+
+DEFAULT_MIN_SIGNIFICANCE = 0.02
+
+
+def extract_harmonic_peaks(
+    psd: np.ndarray,
+    frequencies: np.ndarray,
+    num_peaks: int = DEFAULT_NUM_PEAKS,
+    window_size: int = DEFAULT_WINDOW_SIZE,
+    skip_dc_bins: int = 2,
+    min_significance: float = DEFAULT_MIN_SIGNIFICANCE,
+) -> HarmonicPeaks:
+    """Extract the harmonic peak feature from a PSD vector.
+
+    Args:
+        psd: 1-D PSD amplitudes (combined over axes).
+        frequencies: physical frequency of each bin, same length as ``psd``.
+        num_peaks: ``n_p`` — maximum number of peaks to keep (paper: 20).
+        window_size: ``n_h`` — Hann smoothing window size (paper: 24).
+        skip_dc_bins: lowest bins to exclude from the search; normalization
+            removes DC but smoothing can leak residual low-bin energy into
+            a spurious edge maximum.
+        min_significance: peaks whose smoothed amplitude falls below this
+            fraction of the strongest candidate are discarded — the
+            paper's Fig. 9 keeps only "peaks with high significance", and
+            without this floor the sensor's noise floor contributes
+            spurious high-frequency peaks that inflate the distance of
+            even healthy equipment.
+
+    Returns:
+        HarmonicPeaks with at most ``num_peaks`` peaks in increasing
+        frequency order.  The peak *amplitudes* are read from the smoothed
+        PSD, which is what makes the feature stable across measurements.
+    """
+    psd_arr = np.asarray(psd, dtype=np.float64)
+    freq_arr = np.asarray(frequencies, dtype=np.float64)
+    if psd_arr.ndim != 1:
+        raise ValueError("psd must be 1-D")
+    if psd_arr.shape != freq_arr.shape:
+        raise ValueError("psd and frequencies must have the same shape")
+    if num_peaks < 1:
+        raise ValueError("num_peaks must be positive")
+    if skip_dc_bins < 0:
+        raise ValueError("skip_dc_bins must be non-negative")
+    if not 0.0 <= min_significance < 1.0:
+        raise ValueError("min_significance must be in [0, 1)")
+
+    smoothed = smooth_hann(psd_arr, window_size)
+    candidates = _local_maxima(smoothed)
+    candidates = candidates[candidates >= skip_dc_bins]
+    if candidates.size and min_significance > 0:
+        floor = min_significance * smoothed[candidates].max()
+        candidates = candidates[smoothed[candidates] >= floor]
+    if candidates.size == 0:
+        return HarmonicPeaks(np.empty(0), np.empty(0))
+
+    # Keep the num_peaks most significant maxima, then restore frequency order.
+    order = np.argsort(smoothed[candidates])[::-1][:num_peaks]
+    selected = np.sort(candidates[order])
+    return HarmonicPeaks(freq_arr[selected], smoothed[selected])

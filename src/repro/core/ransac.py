@@ -1,0 +1,329 @@
+"""RANSAC and Recursive RANSAC lifetime-model discovery (Sec. IV-C, Fig. 15).
+
+``D_a`` is expected to grow monotonically with service time, but a fleet
+mixes equipment populations with different ageing rates, and maintenance
+events inject points that belong to no single linear trend.  The paper
+handles both with Random Sample Consensus (Fischler & Bolles, 1981):
+
+* one RANSAC pass finds the most supported increasing line ``D_a = θ·x + b``
+  and marks everything else as outliers, and
+* *Recursive RANSAC* re-runs RANSAC on the outliers until no further
+  monotonically increasing line (slope above a threshold) with sufficient
+  support can be found, yielding one linear lifetime model per latent
+  equipment population (the paper finds two: Model I and Model II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LineModel:
+    """A fitted linear lifetime model ``z = slope * x + intercept``.
+
+    Attributes:
+        slope: degradation rate (feature units per day).
+        intercept: feature value extrapolated to service time 0.
+        inlier_indices: indices (into the fitted arrays) of supporting
+            points.
+        residual_threshold: inlier band half-width used during fitting.
+    """
+
+    slope: float
+    intercept: float
+    inlier_indices: np.ndarray
+    residual_threshold: float
+
+    @property
+    def n_inliers(self) -> int:
+        return int(self.inlier_indices.size)
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Feature value predicted at service time(s) ``x``."""
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+    def crossing_time(self, threshold: float) -> float:
+        """Service time at which the line reaches ``threshold``.
+
+        Returns ``inf`` for non-increasing lines that never reach an
+        above-line threshold.
+        """
+        if self.slope <= 0:
+            return np.inf if threshold > self.intercept else 0.0
+        return (threshold - self.intercept) / self.slope
+
+    def residuals(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Absolute residuals of points against this line."""
+        return np.abs(np.asarray(z, dtype=np.float64) - self.predict(np.asarray(x)))
+
+
+def fit_line_least_squares(x: np.ndarray, z: np.ndarray) -> tuple[float, float]:
+    """Ordinary least squares line fit returning ``(slope, intercept)``."""
+    xs = np.asarray(x, dtype=np.float64).ravel()
+    zs = np.asarray(z, dtype=np.float64).ravel()
+    if xs.size != zs.size:
+        raise ValueError("x and z must have equal length")
+    if xs.size < 2:
+        raise ValueError("need at least two points to fit a line")
+    x_mean = xs.mean()
+    z_mean = zs.mean()
+    denom = ((xs - x_mean) ** 2).sum()
+    if denom == 0:
+        raise ValueError("cannot fit a line to points with identical x")
+    slope = float(((xs - x_mean) * (zs - z_mean)).sum() / denom)
+    intercept = float(z_mean - slope * x_mean)
+    return slope, intercept
+
+
+class RANSACRegressor:
+    """Robust line fitting by random sample consensus.
+
+    Repeatedly fits a line through a random minimal sample (two points),
+    counts the points within ``residual_threshold`` of it, and keeps the
+    line with the largest consensus set, which is finally refined by least
+    squares over its inliers.
+    """
+
+    def __init__(
+        self,
+        residual_threshold: float | None = None,
+        max_trials: int = 300,
+        min_slope: float | None = None,
+        max_slope: float | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        """Create a regressor.
+
+        Args:
+            residual_threshold: inlier band half-width; when None it is
+                set to the median absolute deviation of ``z`` (sklearn's
+                default rule).
+            max_trials: number of random minimal samples to draw.
+            min_slope: candidate lines with a smaller slope are rejected
+                (set to a small positive value to demand increasing
+                trends, as the lifetime model requires).
+            max_slope: optional upper bound on candidate slopes.
+            seed: RNG seed or generator for reproducible fits.
+        """
+        if max_trials < 1:
+            raise ValueError("max_trials must be positive")
+        if residual_threshold is not None and residual_threshold <= 0:
+            raise ValueError("residual_threshold must be positive")
+        self.residual_threshold = residual_threshold
+        self.max_trials = max_trials
+        self.min_slope = min_slope
+        self.max_slope = max_slope
+        self._rng = np.random.default_rng(seed)
+
+    def _slope_ok(self, slope: float) -> bool:
+        if self.min_slope is not None and slope < self.min_slope:
+            return False
+        if self.max_slope is not None and slope > self.max_slope:
+            return False
+        return True
+
+    def fit(self, x: np.ndarray, z: np.ndarray) -> LineModel | None:
+        """Fit the most supported line; None when no admissible line exists.
+
+        Args:
+            x: service times.
+            z: feature values, same length.
+        """
+        xs = np.asarray(x, dtype=np.float64).ravel()
+        zs = np.asarray(z, dtype=np.float64).ravel()
+        if xs.size != zs.size:
+            raise ValueError("x and z must have equal length")
+        if xs.size < 2:
+            return None
+
+        threshold = self.residual_threshold
+        if threshold is None:
+            mad = float(np.median(np.abs(zs - np.median(zs))))
+            threshold = mad if mad > 0 else max(1e-6, float(np.abs(zs).max()) * 1e-3)
+
+        best_mask: np.ndarray | None = None
+        best_count = 0
+        n = xs.size
+        for _ in range(self.max_trials):
+            i, j = self._rng.choice(n, size=2, replace=False)
+            dx = xs[j] - xs[i]
+            if dx == 0:
+                continue
+            slope = (zs[j] - zs[i]) / dx
+            if not self._slope_ok(slope):
+                continue
+            intercept = zs[i] - slope * xs[i]
+            residuals = np.abs(zs - (slope * xs + intercept))
+            mask = residuals <= threshold
+            count = int(mask.sum())
+            if count > best_count:
+                best_count = count
+                best_mask = mask
+
+        if best_mask is None or best_count < 2:
+            return None
+
+        # Refine on the consensus set, then re-evaluate inliers once: the
+        # refit line usually captures a slightly larger consensus set.
+        slope, intercept = fit_line_least_squares(xs[best_mask], zs[best_mask])
+        if not self._slope_ok(slope):
+            # Keep the unrefined model when refinement violates the slope
+            # constraint; rebuild it from the consensus mask.
+            idx = np.nonzero(best_mask)[0]
+            slope, intercept = fit_line_least_squares(xs[idx], zs[idx])
+            if not self._slope_ok(slope):
+                return None
+        residuals = np.abs(zs - (slope * xs + intercept))
+        final_mask = residuals <= threshold
+        if final_mask.sum() < 2:
+            final_mask = best_mask
+        return LineModel(
+            slope=float(slope),
+            intercept=float(intercept),
+            inlier_indices=np.nonzero(final_mask)[0],
+            residual_threshold=float(threshold),
+        )
+
+
+class RecursiveRANSAC:
+    """Discover multiple linear lifetime models in mixed fleet data.
+
+    Runs RANSAC, removes the inliers of the discovered model, and repeats
+    on the remaining outliers until either no admissible increasing line
+    is found or its support falls below ``min_inliers``.  Models are
+    returned ordered by decreasing support; each point belongs to at most
+    one model.
+    """
+
+    def __init__(
+        self,
+        residual_threshold: float | None = None,
+        max_trials: int = 300,
+        min_slope: float = 1e-12,
+        min_inliers: int = 10,
+        max_models: int = 8,
+        slope_merge_tolerance: float = 0.35,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        """Create a recursive model finder.
+
+        Args:
+            residual_threshold: inlier band half-width per model.
+            max_trials: RANSAC trials per recursion level.
+            min_slope: smallest admissible degradation rate.
+            min_inliers: minimum support for a model to be kept.
+            max_models: recursion cap.
+            slope_merge_tolerance: after discovery, models whose slopes
+                agree within this relative tolerance are merged and
+                refitted — equipment of the same population but different
+                install offsets otherwise shows up as parallel duplicate
+                lines.  0 disables merging.
+            seed: RNG seed.
+        """
+        if min_inliers < 2:
+            raise ValueError("min_inliers must be at least 2")
+        if max_models < 1:
+            raise ValueError("max_models must be positive")
+        if slope_merge_tolerance < 0:
+            raise ValueError("slope_merge_tolerance must be non-negative")
+        self.residual_threshold = residual_threshold
+        self.max_trials = max_trials
+        self.min_slope = min_slope
+        self.min_inliers = min_inliers
+        self.max_models = max_models
+        self.slope_merge_tolerance = slope_merge_tolerance
+        self._rng = np.random.default_rng(seed)
+
+    def fit(self, x: np.ndarray, z: np.ndarray) -> list[LineModel]:
+        """Return the discovered lifetime models (possibly empty).
+
+        The ``inlier_indices`` of every returned model index into the
+        *original* ``x``/``z`` arrays.
+        """
+        xs = np.asarray(x, dtype=np.float64).ravel()
+        zs = np.asarray(z, dtype=np.float64).ravel()
+        if xs.size != zs.size:
+            raise ValueError("x and z must have equal length")
+
+        remaining = np.arange(xs.size)
+        models: list[LineModel] = []
+        while remaining.size >= self.min_inliers and len(models) < self.max_models:
+            ransac = RANSACRegressor(
+                residual_threshold=self.residual_threshold,
+                max_trials=self.max_trials,
+                min_slope=self.min_slope,
+                seed=self._rng,
+            )
+            model = ransac.fit(xs[remaining], zs[remaining])
+            if model is None or model.n_inliers < self.min_inliers:
+                break
+            global_inliers = remaining[model.inlier_indices]
+            models.append(
+                LineModel(
+                    slope=model.slope,
+                    intercept=model.intercept,
+                    inlier_indices=global_inliers,
+                    residual_threshold=model.residual_threshold,
+                )
+            )
+            keep = np.ones(remaining.size, dtype=bool)
+            keep[model.inlier_indices] = False
+            remaining = remaining[keep]
+        models = self._merge_similar(models, xs, zs)
+        models.sort(key=lambda m: m.n_inliers, reverse=True)
+        return models
+
+    def _merge_similar(
+        self, models: list[LineModel], xs: np.ndarray, zs: np.ndarray
+    ) -> list[LineModel]:
+        """Merge models whose slopes agree within the relative tolerance.
+
+        The merged model keeps the dominant member's line (slope and
+        intercept are *not* refitted across the union: same-population
+        pumps installed at different offsets produce parallel lines, and
+        a joint refit would tilt the slope to bridge them).  The union of
+        inlier indices becomes the merged support.
+        """
+        if self.slope_merge_tolerance <= 0 or len(models) < 2:
+            return models
+        ordered = sorted(models, key=lambda m: m.n_inliers, reverse=True)
+        merged: list[LineModel] = []
+        for model in ordered:
+            host = None
+            for idx, existing in enumerate(merged):
+                scale = max(abs(existing.slope), abs(model.slope), 1e-30)
+                if abs(existing.slope - model.slope) / scale <= self.slope_merge_tolerance:
+                    host = idx
+                    break
+            if host is None:
+                merged.append(model)
+            else:
+                existing = merged[host]
+                union = np.union1d(existing.inlier_indices, model.inlier_indices)
+                merged[host] = LineModel(
+                    slope=existing.slope,
+                    intercept=existing.intercept,
+                    inlier_indices=union,
+                    residual_threshold=existing.residual_threshold,
+                )
+        return merged
+
+    def assign(self, models: list[LineModel], x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Assign each point to its best-fitting model (or -1 for none).
+
+        A point is assigned to the model with the smallest residual,
+        provided that residual is within the model's inlier band.
+        """
+        xs = np.asarray(x, dtype=np.float64).ravel()
+        zs = np.asarray(z, dtype=np.float64).ravel()
+        if not models:
+            return np.full(xs.size, -1, dtype=np.intp)
+        residuals = np.stack([m.residuals(xs, zs) for m in models], axis=1)
+        best = residuals.argmin(axis=1)
+        best_resid = residuals[np.arange(xs.size), best]
+        bands = np.asarray([m.residual_threshold for m in models])
+        assigned = np.where(best_resid <= bands[best], best, -1)
+        return assigned.astype(np.intp)

@@ -1,0 +1,181 @@
+"""Remaining-Useful-Lifetime estimation (Sec. IV-C, Figs. 15-16, Table IV).
+
+The RUL layer combines three learned artifacts:
+
+1. the Zone D decision threshold on ``D_a`` (boundary between "caution" and
+   "hazard", learned to minimize classification error — Fig. 11);
+2. the population lifetime models discovered by Recursive RANSAC on the
+   pooled fleet scatter of ``(service time, D_a)`` (Fig. 15); and
+3. each pump's own measurement history, used to select which population
+   model the pump follows and to anchor the model line to the pump.
+
+A pump's RUL is the horizontal distance from its current service time to
+the point where its anchored lifetime line crosses the Zone D threshold.
+Negative RUL means the pump is already past the hazard boundary (the paper
+reports -87 and -3 days for two pumps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classify import ZONE_BC, ZONE_D
+from repro.core.kde import min_error_threshold
+from repro.core.ransac import LineModel, RecursiveRANSAC
+
+
+def learn_zone_d_threshold(da_values: np.ndarray, labels: np.ndarray) -> float:
+    """Learn the ``D_a`` boundary between Zone BC and Zone D.
+
+    The threshold minimizes the count of wrongly classified BC/D records,
+    exactly the rule of Sec. IV-C (the paper learns 0.21 on its fleet).
+
+    Args:
+        da_values: peak harmonic distances of labelled measurements.
+        labels: zone labels aligned with ``da_values``; only BC and D
+            records participate.
+    """
+    vals = np.asarray(da_values, dtype=np.float64).ravel()
+    labs = np.asarray(labels)
+    bc = vals[labs == ZONE_BC]
+    d = vals[labs == ZONE_D]
+    if bc.size == 0 or d.size == 0:
+        raise ValueError("need labelled samples in both Zone BC and Zone D")
+    return min_error_threshold(bc, d)
+
+
+@dataclass(frozen=True)
+class RULPrediction:
+    """RUL estimate for one equipment.
+
+    Attributes:
+        model_index: index of the population lifetime model the pump was
+            assigned to (0-based; -1 when no model fit the pump).
+        slope: degradation rate of the anchored per-pump line.
+        intercept: intercept of the anchored per-pump line.
+        current_service_days: pump service time at prediction.
+        crossing_service_days: service time at which the line reaches the
+            Zone D threshold (may be ``inf`` for a flat line).
+        rul_days: remaining useful lifetime in days; negative when the
+            pump is already past the threshold.
+    """
+
+    model_index: int
+    slope: float
+    intercept: float
+    current_service_days: float
+    crossing_service_days: float
+    rul_days: float
+
+
+class RULEstimator:
+    """Fleet-level lifetime-model learner and per-pump RUL predictor."""
+
+    def __init__(
+        self,
+        zone_d_threshold: float,
+        recursive_ransac: RecursiveRANSAC | None = None,
+    ):
+        """Create an estimator.
+
+        Args:
+            zone_d_threshold: learned ``D_a`` hazard boundary.
+            recursive_ransac: model-discovery engine; a default configured
+                for daily-scale fleet data is created when omitted.
+        """
+        if not np.isfinite(zone_d_threshold):
+            raise ValueError("zone_d_threshold must be finite")
+        self.zone_d_threshold = float(zone_d_threshold)
+        self.ransac = recursive_ransac or RecursiveRANSAC(min_inliers=30, seed=0)
+        self.models_: list[LineModel] = []
+
+    def fit(self, service_days: np.ndarray, da_values: np.ndarray) -> "RULEstimator":
+        """Discover population lifetime models from pooled fleet data.
+
+        Args:
+            service_days: service time of every measurement (all pumps
+                pooled), in days since each pump's installation.
+            da_values: ``D_a`` of every measurement, aligned.
+        """
+        self.models_ = self.ransac.fit(service_days, da_values)
+        return self
+
+    @property
+    def n_models(self) -> int:
+        return len(self.models_)
+
+    def select_model(self, service_days: np.ndarray, da_values: np.ndarray) -> int:
+        """Pick the population model that best explains one pump's history.
+
+        The pump keeps the population *slope* but is anchored with its own
+        intercept (median residual anchoring, robust to maintenance
+        spikes); the model with the smallest median absolute residual
+        after anchoring wins.
+
+        Returns:
+            Model index, or -1 when no models have been fitted.
+        """
+        if not self.models_:
+            return -1
+        xs = np.asarray(service_days, dtype=np.float64).ravel()
+        zs = np.asarray(da_values, dtype=np.float64).ravel()
+        if xs.size == 0:
+            raise ValueError("pump history is empty")
+        best_idx = -1
+        best_score = np.inf
+        for idx, model in enumerate(self.models_):
+            intercept = float(np.median(zs - model.slope * xs))
+            score = float(np.median(np.abs(zs - (model.slope * xs + intercept))))
+            if score < best_score:
+                best_score = score
+                best_idx = idx
+        return best_idx
+
+    def predict(self, service_days: np.ndarray, da_values: np.ndarray) -> RULPrediction:
+        """Predict the RUL of one pump from its measurement history.
+
+        Args:
+            service_days: the pump's measurement service times (days).
+            da_values: the pump's ``D_a`` series, aligned.
+
+        Returns:
+            RULPrediction anchored at the pump's latest measurement.
+        """
+        xs = np.asarray(service_days, dtype=np.float64).ravel()
+        zs = np.asarray(da_values, dtype=np.float64).ravel()
+        if xs.size != zs.size:
+            raise ValueError("service_days and da_values must have equal length")
+        if xs.size == 0:
+            raise ValueError("pump history is empty")
+        current = float(xs.max())
+
+        model_idx = self.select_model(xs, zs)
+        if model_idx < 0:
+            raise RuntimeError("no lifetime models fitted; call fit() first")
+        model = self.models_[model_idx]
+        intercept = float(np.median(zs - model.slope * xs))
+        anchored = LineModel(
+            slope=model.slope,
+            intercept=intercept,
+            inlier_indices=np.arange(xs.size),
+            residual_threshold=model.residual_threshold,
+        )
+        crossing = anchored.crossing_time(self.zone_d_threshold)
+        rul = crossing - current if np.isfinite(crossing) else np.inf
+        return RULPrediction(
+            model_index=model_idx,
+            slope=anchored.slope,
+            intercept=anchored.intercept,
+            current_service_days=current,
+            crossing_service_days=float(crossing),
+            rul_days=float(rul),
+        )
+
+    def predict_fleet(
+        self,
+        histories: dict[object, tuple[np.ndarray, np.ndarray]],
+    ) -> dict[object, RULPrediction]:
+        """Predict RUL for every pump in ``{pump_id: (service_days, da)}``."""
+        return {pump_id: self.predict(xs, zs) for pump_id, (xs, zs) in histories.items()}

@@ -1,0 +1,57 @@
+"""Wireless sensor network substrate.
+
+Models the data-collection tier of Fig. 1: duty-cycled sensor motes, a
+lossy low-power radio, the Flush reliable bulk-transport protocol
+(Kim et al., SenSys 2007) used to ship each 6 KB measurement as 120 packets
+with NACK-based recovery, the central wakeup-slot scheduler with heartbeat
+liveness tracking, and the battery energy model behind the Fig. 5 tradeoff
+between sampling frequency, report period and target node lifetime.
+"""
+
+from repro.sensornet.packets import (
+    MEASUREMENT_BYTES,
+    PACKET_PAYLOAD_BYTES,
+    PACKETS_PER_MEASUREMENT,
+    DataPacket,
+    fragment_measurement,
+    reassemble_measurement,
+)
+from repro.sensornet.radio import LossyLink
+from repro.sensornet.flush import FlushReceiver, FlushSender, FlushStats, flush_transfer
+from repro.sensornet.energy import EnergyConfig, EnergyModel
+from repro.sensornet.mote import Mote, MoteState
+from repro.sensornet.scheduler import ScheduleEntry, WakeupScheduler
+from repro.sensornet.network import CollectionStats, SensorNetworkSimulator
+from repro.sensornet.multihop import (
+    MultihopPath,
+    MultihopStats,
+    multihop_flush_transfer,
+)
+from repro.sensornet.gateway import GatewayBridge, SensorCalibration
+
+__all__ = [
+    "DataPacket",
+    "MEASUREMENT_BYTES",
+    "PACKET_PAYLOAD_BYTES",
+    "PACKETS_PER_MEASUREMENT",
+    "fragment_measurement",
+    "reassemble_measurement",
+    "LossyLink",
+    "flush_transfer",
+    "FlushSender",
+    "FlushReceiver",
+    "FlushStats",
+    "EnergyConfig",
+    "EnergyModel",
+    "Mote",
+    "MoteState",
+    "WakeupScheduler",
+    "ScheduleEntry",
+    "SensorNetworkSimulator",
+    "CollectionStats",
+    "MultihopPath",
+    "MultihopStats",
+    "multihop_flush_transfer",
+    "GatewayBridge",
+    "SensorCalibration",
+]

@@ -1,0 +1,97 @@
+"""Gateway bridge: from recovered radio measurements to database records.
+
+Fig. 1's gateway component sits between the sensor network and the
+analysis tier: it reassembles the mote's raw 2-byte count blocks, converts
+them to physical units (the "unitless raw data → g" step of the data
+transformation layer) and lands them in the sensor database together with
+the bookkeeping the analytics needs (timestamps, service time).
+
+:class:`GatewayBridge` performs exactly that translation for the output
+of :class:`~repro.sensornet.network.SensorNetworkSimulator`, completing
+the end-to-end loop: physical vibration → mote → Flush → gateway →
+database → analysis engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensornet.network import DeliveredMeasurement
+from repro.storage.database import VibrationDatabase
+from repro.storage.records import Measurement
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class SensorCalibration:
+    """Per-sensor conversion and deployment metadata.
+
+    Attributes:
+        pump_id: equipment the sensor is mounted on.
+        scale_g_per_count: ADC count → g conversion factor.
+        sampling_rate_hz: sampling rate of the blocks.
+        install_day: absolute day the pump (not the sensor) entered
+            service; service time is derived from it.
+    """
+
+    pump_id: int
+    scale_g_per_count: float
+    sampling_rate_hz: float = 4000.0
+    install_day: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.scale_g_per_count <= 0:
+            raise ValueError("scale_g_per_count must be positive")
+        if self.sampling_rate_hz <= 0:
+            raise ValueError("sampling_rate_hz must be positive")
+
+
+class GatewayBridge:
+    """Converts delivered count blocks into stored Measurement records."""
+
+    def __init__(self, calibrations: dict[int, SensorCalibration]):
+        """Create a bridge.
+
+        Args:
+            calibrations: sensor id → calibration; measurements from
+                unknown sensors are rejected (a mis-provisioned mote must
+                be noticed, not silently stored with wrong units).
+        """
+        if not calibrations:
+            raise ValueError("at least one sensor calibration is required")
+        self.calibrations = dict(calibrations)
+
+    def to_measurement(self, delivered: DeliveredMeasurement) -> Measurement:
+        """Convert one recovered radio measurement to a database record."""
+        calibration = self.calibrations.get(delivered.sensor_id)
+        if calibration is None:
+            raise KeyError(f"no calibration for sensor {delivered.sensor_id}")
+        block_g = delivered.counts.astype(np.float64) * calibration.scale_g_per_count
+        timestamp_day = delivered.wakeup_time_s / SECONDS_PER_DAY
+        return Measurement(
+            pump_id=calibration.pump_id,
+            measurement_id=delivered.measurement_id,
+            timestamp_day=timestamp_day,
+            service_day=max(timestamp_day - calibration.install_day, 0.0),
+            samples=block_g,
+            sampling_rate_hz=calibration.sampling_rate_hz,
+        )
+
+    def ingest(
+        self,
+        delivered: list[DeliveredMeasurement],
+        database: VibrationDatabase,
+    ) -> int:
+        """Convert and store a batch; returns the number stored.
+
+        Raises:
+            KeyError: when any measurement comes from an uncalibrated
+                sensor (the whole batch is rejected so the store never
+                holds partially-converted data).
+        """
+        records = [self.to_measurement(d) for d in delivered]
+        database.measurements.add_many(records)
+        return len(records)

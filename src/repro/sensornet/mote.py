@@ -1,0 +1,139 @@
+"""Sensor mote state machine (Figs. 3-4 of the paper).
+
+A mote alternates between an ultra-low-power sleep state and short active
+windows.  Each active window (its *wakeup slot*) has two phases: the
+*round period*, in which the mote samples a 1024-point block and ships it
+to the base station with Flush, and the *heartbeat period*, in which it
+updates its liveness with the sensor management server.  The server marks
+a mote dead when its heartbeat goes missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+import numpy as np
+
+from repro.sensornet.energy import BatteryTracker, EnergyConfig
+from repro.sensornet.flush import FlushStats, flush_transfer
+from repro.sensornet.packets import DataPacket, fragment_measurement
+from repro.sensornet.radio import LossyLink
+
+
+class MoteState(Enum):
+    """Operational state of a mote."""
+
+    SLEEP = "sleep"
+    ACTIVE = "active"
+    DEAD = "dead"
+
+
+@dataclass
+class RoundOutcome:
+    """What happened during one wakeup slot.
+
+    Attributes:
+        measurement_id: sequence number of the attempted measurement.
+        flush: bulk-transfer statistics.
+        packets: fragments the base station received (complete only when
+            ``flush.success``).
+        heartbeat_delivered: whether the liveness update got through.
+        battery_fraction: battery remaining after the slot.
+    """
+
+    measurement_id: int
+    flush: FlushStats
+    packets: list[DataPacket]
+    heartbeat_delivered: bool
+    battery_fraction: float
+
+
+class Mote:
+    """One duty-cycled vibration sensor mote."""
+
+    def __init__(
+        self,
+        sensor_id: int,
+        link: LossyLink,
+        measurement_source: Callable[[int], np.ndarray],
+        sampling_rate_hz: float = 4000.0,
+        energy: EnergyConfig | None = None,
+        max_flush_rounds: int = 20,
+    ):
+        """Create a mote.
+
+        Args:
+            sensor_id: unique mote identifier.
+            link: radio link to the base station.
+            measurement_source: callable producing the int16 count block
+                ``(K, 3)`` for a given measurement id (the attached
+                MEMS sensor).
+            sampling_rate_hz: configured sampling rate.
+            energy: battery model configuration.
+            max_flush_rounds: Flush round budget per transfer.
+        """
+        if sampling_rate_hz <= 0:
+            raise ValueError("sampling_rate_hz must be positive")
+        self.sensor_id = sensor_id
+        self.link = link
+        self.measurement_source = measurement_source
+        self.sampling_rate_hz = sampling_rate_hz
+        self.battery = BatteryTracker(energy)
+        self.max_flush_rounds = max_flush_rounds
+        self.state = MoteState.SLEEP
+        self.next_measurement_id = 0
+        self.booted = False
+
+    def boot(self) -> int:
+        """Boot-up notification; returns the sensor id it registers with."""
+        if self.state is MoteState.DEAD:
+            raise RuntimeError("dead motes cannot boot")
+        self.booted = True
+        return self.sensor_id
+
+    def execute_slot(self, sleep_seconds_since_last: float = 0.0) -> RoundOutcome | None:
+        """Run one wakeup slot: measure, Flush-transfer, heartbeat, sleep.
+
+        Args:
+            sleep_seconds_since_last: how long the mote slept before this
+                slot, for battery accounting.
+
+        Returns:
+            RoundOutcome, or None when the battery was already depleted
+            (the mote transitions to DEAD and stays silent — the server
+            notices the missing heartbeat).
+        """
+        if not self.booted:
+            raise RuntimeError("mote must boot before executing slots")
+        if self.state is MoteState.DEAD:
+            return None
+        self.battery.sleep(sleep_seconds_since_last)
+        if self.battery.depleted:
+            self.state = MoteState.DEAD
+            return None
+
+        self.state = MoteState.ACTIVE
+        measurement_id = self.next_measurement_id
+        self.next_measurement_id += 1
+
+        # Round period: sample and bulk-transfer.
+        counts = self.measurement_source(measurement_id)
+        self.battery.measure(self.sampling_rate_hz)
+        packets = fragment_measurement(self.sensor_id, measurement_id, counts)
+        stats, received = flush_transfer(packets, self.link, max_rounds=self.max_flush_rounds)
+
+        # Heartbeat period: one control packet to the management server.
+        heartbeat_delivered = self.link.transmit()
+
+        self.state = MoteState.SLEEP
+        if self.battery.depleted:
+            self.state = MoteState.DEAD
+        return RoundOutcome(
+            measurement_id=measurement_id,
+            flush=stats,
+            packets=received,
+            heartbeat_delivered=heartbeat_delivered,
+            battery_fraction=self.battery.fraction_remaining(),
+        )

@@ -1,0 +1,127 @@
+"""Multihop Flush: reliable bulk transport over a chain of lossy links.
+
+Flush (Kim et al. [8]) was designed for *multihop* wireless networks: a
+mote several hops from the base station forwards its bulk data through
+intermediate motes, with end-to-end NACK recovery and hop-by-hop loss.
+The single-hop model in :mod:`repro.sensornet.flush` covers the paper's
+deployment (sensors one hop from a gateway); this module generalizes it
+so deeper fab topologies can be simulated.
+
+The model: a packet must traverse every hop of the path to arrive; a
+loss at any hop loses the packet for this attempt (intermediate caching
+is deliberately not modelled — it only changes constants, not the
+end-to-end reliability semantics).  NACKs travel the reverse path with
+the same per-hop loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sensornet.flush import FlushReceiver, FlushStats
+from repro.sensornet.packets import DataPacket
+from repro.sensornet.radio import LossyLink
+
+
+class MultihopPath:
+    """An ordered chain of links from a mote to the base station."""
+
+    def __init__(self, links: list[LossyLink]):
+        if not links:
+            raise ValueError("a path needs at least one link")
+        self.links = list(links)
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.links)
+
+    def transmit_forward(self) -> bool:
+        """Send one packet along the path; True when it arrives."""
+        return all(link.transmit() for link in self.links)
+
+    def transmit_reverse(self) -> bool:
+        """Send one control packet back along the path."""
+        return all(link.transmit() for link in reversed(self.links))
+
+    @property
+    def end_to_end_delivery_probability(self) -> float:
+        """Analytic per-packet delivery probability (Bernoulli links)."""
+        p = 1.0
+        for link in self.links:
+            p *= 1.0 - link.loss_probability
+        return p
+
+    @staticmethod
+    def uniform(hop_count: int, loss_probability: float, seed: int = 0) -> "MultihopPath":
+        """A path of ``hop_count`` identical independent links."""
+        if hop_count < 1:
+            raise ValueError("hop_count must be positive")
+        return MultihopPath(
+            [
+                LossyLink(loss_probability, seed=seed * 1000 + i)
+                for i in range(hop_count)
+            ]
+        )
+
+
+@dataclass
+class MultihopStats(FlushStats):
+    """Flush statistics extended with per-hop accounting.
+
+    Attributes:
+        hop_count: path length in links.
+        link_transmissions: total per-link transmission attempts (each
+            end-to-end send costs up to ``hop_count`` of these).
+    """
+
+    hop_count: int = 1
+    link_transmissions: int = 0
+
+
+def multihop_flush_transfer(
+    packets: list[DataPacket],
+    path: MultihopPath,
+    max_rounds: int = 40,
+) -> tuple[MultihopStats, list[DataPacket]]:
+    """Run Flush end-to-end over a multihop path.
+
+    Same round structure as the single-hop transfer: stream the
+    outstanding set, receive a NACK over the reverse path (a lost NACK
+    means the sender re-streams the same set), repeat until complete or
+    the round budget runs out.
+    """
+    if not packets:
+        raise ValueError("nothing to send")
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be positive")
+
+    receiver = FlushReceiver(total=packets[0].total)
+    by_seq = {p.seq: p for p in packets}
+    outstanding = [p.seq for p in packets]
+    data_transmissions = 0
+    nack_transmissions = 0
+    rounds = 0
+
+    while rounds < max_rounds:
+        rounds += 1
+        for seq in outstanding:
+            data_transmissions += 1
+            if path.transmit_forward():
+                receiver.accept(by_seq[seq])
+        if receiver.complete:
+            break
+        nack_transmissions += 1
+        if path.transmit_reverse():
+            outstanding = receiver.missing()
+
+    link_tx = sum(link.transmissions for link in path.links)
+    stats = MultihopStats(
+        success=receiver.complete,
+        rounds=rounds,
+        data_transmissions=data_transmissions,
+        nack_transmissions=nack_transmissions,
+        delivered=len(receiver.received),
+        hop_count=path.hop_count,
+        link_transmissions=link_tx,
+    )
+    return stats, receiver.packets()

@@ -1,0 +1,91 @@
+"""Lossy low-power radio link model.
+
+A single-hop Bernoulli-loss link with optional burst (Gilbert-Elliott)
+behaviour: low-power 802.15.4 links lose packets in bursts when interference
+or multipath fading sets in, which is precisely the regime NACK-based bulk
+transport has to survive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LossyLink:
+    """Packet-erasure link.
+
+    In the default (Bernoulli) mode every transmission is lost i.i.d. with
+    ``loss_probability``.  When ``burst_loss_probability`` is set the link
+    follows a two-state Gilbert-Elliott chain: a *good* state with the
+    base loss rate and a *bad* state with the burst loss rate, switching
+    with the configured transition probabilities per transmission.
+    """
+
+    GOOD = "good"
+    BAD = "bad"
+
+    def __init__(
+        self,
+        loss_probability: float = 0.05,
+        burst_loss_probability: float | None = None,
+        p_good_to_bad: float = 0.02,
+        p_bad_to_good: float = 0.2,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        """Create a link.
+
+        Args:
+            loss_probability: loss rate in the good state.
+            burst_loss_probability: loss rate in the bad state; None
+                disables burst behaviour.
+            p_good_to_bad: per-transmission probability of entering a
+                burst.
+            p_bad_to_good: per-transmission probability of leaving it.
+            seed: RNG seed or generator.
+        """
+        for name, p in (
+            ("loss_probability", loss_probability),
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if burst_loss_probability is not None and not 0.0 <= burst_loss_probability <= 1.0:
+            raise ValueError("burst_loss_probability must be in [0, 1]")
+        self.loss_probability = loss_probability
+        self.burst_loss_probability = burst_loss_probability
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self._rng = np.random.default_rng(seed)
+        self._state = self.GOOD
+        self.transmissions = 0
+        self.losses = 0
+
+    def _advance_state(self) -> None:
+        if self.burst_loss_probability is None:
+            return
+        if self._state == self.GOOD:
+            if self._rng.random() < self.p_good_to_bad:
+                self._state = self.BAD
+        elif self._rng.random() < self.p_bad_to_good:
+            self._state = self.GOOD
+
+    def transmit(self) -> bool:
+        """Attempt one transmission; True when the packet gets through."""
+        self._advance_state()
+        if self._state == self.BAD and self.burst_loss_probability is not None:
+            p_loss = self.burst_loss_probability
+        else:
+            p_loss = self.loss_probability
+        self.transmissions += 1
+        lost = self._rng.random() < p_loss
+        if lost:
+            self.losses += 1
+        return not lost
+
+    @property
+    def observed_loss_rate(self) -> float:
+        """Empirical loss rate over the link's lifetime."""
+        if self.transmissions == 0:
+            return 0.0
+        return self.losses / self.transmissions

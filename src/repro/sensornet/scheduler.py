@@ -1,0 +1,154 @@
+"""Central wakeup-slot scheduler and liveness tracking (Fig. 4).
+
+The sensor management server assigns each mote a wakeup slot inside the
+report period — staggered so transfers do not collide at the base station —
+and tracks liveness through the heartbeat each mote sends in its slot.  A
+mote whose heartbeat has been missing longer than the timeout is marked
+dead.
+
+The paper's future-work idea of *dynamic sampling* is provided as an
+extension hook: :class:`AdaptiveSamplingPolicy` lowers the sampling rate
+for equipments whose degradation feature is flat and raises it as the
+feature accelerates, saving energy where nothing is happening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One mote's slot assignment.
+
+    Attributes:
+        sensor_id: the mote.
+        offset_s: slot start offset from the beginning of each round.
+        report_period_s: period between two wakeups of this mote.
+    """
+
+    sensor_id: int
+    offset_s: float
+    report_period_s: float
+
+    def wakeup_time(self, round_index: int) -> float:
+        """Absolute wakeup time of the given round."""
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        return round_index * self.report_period_s + self.offset_s
+
+
+class WakeupScheduler:
+    """Slot assignment plus heartbeat-based liveness."""
+
+    def __init__(
+        self,
+        report_period_s: float,
+        slot_width_s: float = 30.0,
+        heartbeat_timeout_periods: float = 2.5,
+    ):
+        """Create a scheduler.
+
+        Args:
+            report_period_s: the fleet-wide report period.
+            slot_width_s: stagger between consecutive motes' slots.
+            heartbeat_timeout_periods: how many report periods a
+                heartbeat may be missing before the mote is declared
+                dead.
+        """
+        if report_period_s <= 0:
+            raise ValueError("report_period_s must be positive")
+        if slot_width_s <= 0:
+            raise ValueError("slot_width_s must be positive")
+        if heartbeat_timeout_periods <= 0:
+            raise ValueError("heartbeat_timeout_periods must be positive")
+        self.report_period_s = report_period_s
+        self.slot_width_s = slot_width_s
+        self.heartbeat_timeout_s = heartbeat_timeout_periods * report_period_s
+        self._entries: dict[int, ScheduleEntry] = {}
+        self._last_heartbeat: dict[int, float] = {}
+
+    def register(self, sensor_id: int, boot_time_s: float = 0.0) -> ScheduleEntry:
+        """Handle a boot-up notification: assign a wakeup slot.
+
+        Slots are packed consecutively, wrapping within the report period
+        so arbitrarily many motes share it.
+        """
+        if sensor_id in self._entries:
+            return self._entries[sensor_id]
+        index = len(self._entries)
+        offset = (index * self.slot_width_s) % self.report_period_s
+        entry = ScheduleEntry(
+            sensor_id=sensor_id, offset_s=offset, report_period_s=self.report_period_s
+        )
+        self._entries[sensor_id] = entry
+        self._last_heartbeat[sensor_id] = boot_time_s
+        return entry
+
+    def entry(self, sensor_id: int) -> ScheduleEntry:
+        return self._entries[sensor_id]
+
+    def record_heartbeat(self, sensor_id: int, now_s: float) -> None:
+        """A heartbeat arrived from the mote."""
+        if sensor_id not in self._entries:
+            raise KeyError(f"unregistered sensor {sensor_id}")
+        self._last_heartbeat[sensor_id] = now_s
+
+    def is_alive(self, sensor_id: int, now_s: float) -> bool:
+        """Liveness verdict: heartbeat seen within the timeout window."""
+        last = self._last_heartbeat.get(sensor_id)
+        if last is None:
+            return False
+        return (now_s - last) <= self.heartbeat_timeout_s
+
+    def dead_sensors(self, now_s: float) -> list[int]:
+        """All registered motes currently considered dead."""
+        return [sid for sid in self._entries if not self.is_alive(sid, now_s)]
+
+
+class AdaptiveSamplingPolicy:
+    """Dynamic sampling-rate policy (the paper's future-work extension).
+
+    The policy inspects the recent trend of a scalar degradation feature
+    (e.g. ``D_a``) and interpolates the sampling rate between a low rate
+    for flat trends and a high rate for steep ones, on a log scale.
+    """
+
+    def __init__(
+        self,
+        min_rate_hz: float = 500.0,
+        max_rate_hz: float = 8000.0,
+        slope_scale: float = 0.002,
+    ):
+        """Create a policy.
+
+        Args:
+            min_rate_hz: rate used when the feature is flat.
+            max_rate_hz: rate used when the feature rises at or above
+                ``slope_scale`` per day.
+            slope_scale: feature slope (per day) mapped to the max rate.
+        """
+        if not 0 < min_rate_hz <= max_rate_hz:
+            raise ValueError("need 0 < min_rate_hz <= max_rate_hz")
+        if slope_scale <= 0:
+            raise ValueError("slope_scale must be positive")
+        self.min_rate_hz = min_rate_hz
+        self.max_rate_hz = max_rate_hz
+        self.slope_scale = slope_scale
+
+    def suggest_rate(self, days: np.ndarray, feature: np.ndarray) -> float:
+        """Sampling rate suggested by the recent feature trend."""
+        xs = np.asarray(days, dtype=np.float64).ravel()
+        zs = np.asarray(feature, dtype=np.float64).ravel()
+        if xs.size != zs.size:
+            raise ValueError("days and feature must have equal length")
+        if xs.size < 2 or np.ptp(xs) == 0:
+            return self.min_rate_hz
+        slope = float(np.polyfit(xs, zs, 1)[0])
+        severity = np.clip(slope / self.slope_scale, 0.0, 1.0)
+        log_rate = (1 - severity) * np.log(self.min_rate_hz) + severity * np.log(
+            self.max_rate_hz
+        )
+        return float(np.exp(log_rate))

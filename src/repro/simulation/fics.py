@@ -1,0 +1,56 @@
+"""FICS temperature source.
+
+The paper's empirical finding (Figs. 12–14) is that equipment temperature
+is useless for health classification because "equipments' temperature is
+greatly affected by the factory control system rather than equipments'
+inherent condition".  The source below models exactly that: a controlled
+setpoint with daily process swings, control noise, and only a very weak
+dependence on pump wear — so the temperature baseline in our benchmarks
+fails for the same reason it failed in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TemperatureSource:
+    """Per-pump temperature reading generator."""
+
+    def __init__(
+        self,
+        setpoint_c: float = 65.0,
+        control_amplitude_c: float = 4.0,
+        noise_c: float = 1.5,
+        wear_coupling_c: float = 0.8,
+        rng: np.random.Generator | None = None,
+    ):
+        """Create a source.
+
+        Args:
+            setpoint_c: factory-controlled operating temperature.
+            control_amplitude_c: amplitude of the daily process swing
+                imposed by the factory control loop.
+            noise_c: standard deviation of reading noise.
+            wear_coupling_c: temperature increase at full wear; kept small
+                relative to the control dynamics by design.
+            rng: entropy source.
+        """
+        if noise_c < 0:
+            raise ValueError("noise_c must be non-negative")
+        self.setpoint_c = setpoint_c
+        self.control_amplitude_c = control_amplitude_c
+        self.noise_c = noise_c
+        self.wear_coupling_c = wear_coupling_c
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._phase = self._rng.uniform(0, 2 * np.pi)
+
+    def reading(self, day: float, wear: float) -> float:
+        """Temperature in °C at an absolute day for a given pump wear."""
+        control = self.control_amplitude_c * np.sin(2 * np.pi * day + self._phase)
+        # Slow multi-day recipe changes add a second, larger-period swing.
+        recipe = 0.5 * self.control_amplitude_c * np.sin(2 * np.pi * day / 9.0)
+        noise = self._rng.normal(0.0, self.noise_c)
+        return float(
+            self.setpoint_c + control + recipe + self.wear_coupling_c * wear + noise
+        )

@@ -1,0 +1,80 @@
+"""Expert labeling simulator.
+
+The paper collects zone labels two ways: *data-driven* (an expert reads
+sensor traces) and *physical-checking* (inspection after replacement).
+Data-driven labels carry some confusion between adjacent zones; a small
+fraction of labels is outright invalid ("human mistakes") and is discarded
+by the analysis.  The labeler below reproduces both behaviours against the
+simulator's ground-truth zones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classify import ZONES
+from repro.storage.records import LABEL_SOURCE_DATA, LABEL_SOURCE_PHYSICAL, LabelRecord
+
+
+@dataclass(frozen=True)
+class LabelerConfig:
+    """Labeling error model.
+
+    Attributes:
+        adjacent_confusion_rate: probability a data-driven label slips to
+            an adjacent zone.
+        invalid_rate: probability a label is recorded as invalid (the
+            paper simply discards these).
+    """
+
+    adjacent_confusion_rate: float = 0.03
+    invalid_rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.adjacent_confusion_rate < 1:
+            raise ValueError("adjacent_confusion_rate must be in [0, 1)")
+        if not 0 <= self.invalid_rate < 1:
+            raise ValueError("invalid_rate must be in [0, 1)")
+
+
+class ExpertLabeler:
+    """Generates LabelRecords from ground-truth zones."""
+
+    def __init__(self, config: LabelerConfig | None = None, rng: np.random.Generator | None = None):
+        self.config = config or LabelerConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def label(
+        self,
+        pump_id: int,
+        measurement_id: int,
+        true_zone: str,
+        source: str = LABEL_SOURCE_DATA,
+    ) -> LabelRecord:
+        """One label for a measurement, with realistic error modes.
+
+        Physical-checking labels are exact (the equipment is opened up);
+        data-driven labels can slip to an adjacent zone or be invalid.
+        """
+        if true_zone not in ZONES:
+            raise ValueError(f"unknown zone {true_zone!r}")
+        zone = true_zone
+        valid = True
+        if source == LABEL_SOURCE_DATA:
+            if self._rng.random() < self.config.invalid_rate:
+                valid = False
+            elif self._rng.random() < self.config.adjacent_confusion_rate:
+                idx = ZONES.index(true_zone)
+                neighbours = [i for i in (idx - 1, idx + 1) if 0 <= i < len(ZONES)]
+                zone = ZONES[int(self._rng.choice(neighbours))]
+        elif source != LABEL_SOURCE_PHYSICAL:
+            raise ValueError(f"unknown label source {source!r}")
+        return LabelRecord(
+            pump_id=pump_id,
+            measurement_id=measurement_id,
+            zone=zone,
+            source=source,
+            valid=valid,
+        )

@@ -1,0 +1,207 @@
+"""MEMS vibration sensor model: Table I specs and measurement imperfections.
+
+The paper's hardware shift — from piezoelectric accelerometers to cheap
+MEMS parts — is what makes fleet-wide vibration sensing affordable, at the
+cost of much higher noise density and long-term zero-offset drift.  Both
+generations are described by :data:`SENSOR_SPECS` (the paper's Table I) and
+the imperfections the analytics must survive are modelled by
+:class:`MEMSSensor`:
+
+* gravity projection onto the (arbitrary) mounting orientation,
+* white measurement noise from the spec's noise density,
+* slow zero-offset drift (random-walk plus linear component),
+* abrupt offset jumps (e.g. thermal shocks or mounting slips, the cause of
+  the invalid segments of Fig. 8b), and
+* quantization to signed 16-bit counts over the accelerometer's full
+  range, with clipping at the range limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+STANDARD_GRAVITY_G = 1.0
+"""Gravity magnitude in g units (the sensor measures in g)."""
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """One row of the paper's Table I.
+
+    Attributes:
+        name: sensor family name.
+        price_usd: unit price.
+        power_mw: active power draw in milliwatts.
+        size_inches: (L, W, H) package size.
+        noise_density_ug_per_rthz: noise density in µg/√Hz.
+        resonance_khz: resonance frequency in kHz.
+        accel_range_g: full-scale acceleration range in g.
+    """
+
+    name: str
+    price_usd: float
+    power_mw: float
+    size_inches: tuple[float, float, float]
+    noise_density_ug_per_rthz: float
+    resonance_khz: float
+    accel_range_g: float
+
+    def noise_sigma_g(self, bandwidth_hz: float) -> float:
+        """White-noise standard deviation in g over a given bandwidth."""
+        if bandwidth_hz <= 0:
+            raise ValueError("bandwidth_hz must be positive")
+        return self.noise_density_ug_per_rthz * 1e-6 * np.sqrt(bandwidth_hz)
+
+
+SENSOR_SPECS: dict[str, SensorSpec] = {
+    "piezo": SensorSpec(
+        name="Piezo Sensor",
+        price_usd=300.0,
+        power_mw=27.0,
+        size_inches=(1.97, 0.98, 1.0),
+        noise_density_ug_per_rthz=700.0,
+        resonance_khz=20.0,
+        accel_range_g=10.0,
+    ),
+    "mems": SensorSpec(
+        name="MEMS Sensor",
+        price_usd=10.0,
+        power_mw=3.0,
+        size_inches=(0.2, 0.2, 0.05),
+        noise_density_ug_per_rthz=4000.0,
+        resonance_khz=22.0,
+        accel_range_g=100.0,
+    ),
+}
+"""The paper's Table I, keyed by sensor family."""
+
+
+@dataclass(frozen=True)
+class MEMSSensorConfig:
+    """Imperfection parameters of one deployed MEMS sensor.
+
+    Attributes:
+        spec: hardware family (noise density, range) — MEMS by default.
+        drift_g_per_day: expected magnitude of the slow zero-offset drift
+            per axis per day; 0 models a stable unit (Fig. 8a).
+        jump_probability_per_day: Poisson rate of abrupt offset jumps
+            (Fig. 8b shows one mid-trace).
+        jump_scale_g: typical magnitude of an abrupt jump per axis.
+        counts_full_scale: ADC counts at the positive range limit.
+    """
+
+    spec: SensorSpec = SENSOR_SPECS["mems"]
+    drift_g_per_day: float = 0.0
+    jump_probability_per_day: float = 0.0
+    jump_scale_g: float = 0.5
+    counts_full_scale: int = 32767
+
+    def __post_init__(self) -> None:
+        if self.drift_g_per_day < 0:
+            raise ValueError("drift_g_per_day must be non-negative")
+        if self.jump_probability_per_day < 0:
+            raise ValueError("jump_probability_per_day must be non-negative")
+        if self.counts_full_scale < 1:
+            raise ValueError("counts_full_scale must be positive")
+
+
+class MEMSSensor:
+    """Stateful sensor: converts true acceleration into raw 2-byte counts.
+
+    The sensor keeps its own offset state between measurements so drift
+    and jumps accumulate over the deployment, exactly the behaviour the
+    outlier-detection layer has to catch.
+    """
+
+    def __init__(
+        self,
+        config: MEMSSensorConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.config = config or MEMSSensorConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        # Random mounting orientation: gravity projects onto the axes with
+        # a unit-norm direction; the dominant component lands on z-like
+        # orientations most of the time but any mounting is possible.
+        direction = self._rng.normal(size=3)
+        direction /= np.linalg.norm(direction)
+        self.gravity_offset = STANDARD_GRAVITY_G * direction
+        self.zero_offset = self._rng.normal(0.0, 0.02, size=3)
+        self._drift_direction = self._rng.normal(size=3)
+        norm = np.linalg.norm(self._drift_direction)
+        self._drift_direction /= norm if norm else 1.0
+        self._last_day: float | None = None
+
+    @property
+    def scale_g_per_count(self) -> float:
+        """Conversion factor applied by the data transformation layer."""
+        return self.config.spec.accel_range_g / self.config.counts_full_scale
+
+    def _advance_offset(self, day: float) -> None:
+        """Evolve drift/jump state from the last measurement day to ``day``."""
+        if self._last_day is None:
+            self._last_day = day
+            return
+        elapsed = max(day - self._last_day, 0.0)
+        self._last_day = day
+        if elapsed == 0:
+            return
+        cfg = self.config
+        if cfg.drift_g_per_day > 0:
+            # Linear drift along a per-sensor direction plus a random walk.
+            self.zero_offset = self.zero_offset + (
+                cfg.drift_g_per_day * elapsed * self._drift_direction
+                + self._rng.normal(0.0, cfg.drift_g_per_day * np.sqrt(elapsed), size=3)
+            )
+        if cfg.jump_probability_per_day > 0:
+            n_jumps = self._rng.poisson(cfg.jump_probability_per_day * elapsed)
+            for _ in range(int(n_jumps)):
+                self.zero_offset = self.zero_offset + self._rng.normal(
+                    0.0, cfg.jump_scale_g, size=3
+                )
+
+    def measure_counts(
+        self,
+        true_block: np.ndarray,
+        day: float,
+        sampling_rate_hz: float,
+    ) -> np.ndarray:
+        """Raw ADC counts for one measurement block.
+
+        Args:
+            true_block: physical acceleration ``(K, 3)`` in g, gravity
+                excluded.
+            day: absolute measurement day (drives offset evolution).
+            sampling_rate_hz: drives the white-noise bandwidth.
+
+        Returns:
+            int16 array ``(K, 3)`` of clipped, quantized counts.
+        """
+        block = np.asarray(true_block, dtype=np.float64)
+        if block.ndim != 2 or block.shape[1] != 3:
+            raise ValueError(f"true_block must have shape (K, 3), got {block.shape}")
+        self._advance_offset(day)
+        cfg = self.config
+        sigma = cfg.spec.noise_sigma_g(sampling_rate_hz / 2.0)
+        noisy = (
+            block
+            + self.gravity_offset[None, :]
+            + self.zero_offset[None, :]
+            + self._rng.normal(0.0, sigma, size=block.shape)
+        )
+        limit = cfg.spec.accel_range_g
+        clipped = np.clip(noisy, -limit, limit)
+        counts = np.round(clipped / self.scale_g_per_count)
+        return counts.astype(np.int16)
+
+    def measure_g(
+        self,
+        true_block: np.ndarray,
+        day: float,
+        sampling_rate_hz: float,
+    ) -> np.ndarray:
+        """Counts converted back to g — what the transformation layer sees."""
+        counts = self.measure_counts(true_block, day, sampling_rate_hz)
+        return counts.astype(np.float64) * self.scale_g_per_count

@@ -1,0 +1,114 @@
+"""Canned simulation scenarios.
+
+The raw :class:`~repro.simulation.fleet.FleetConfig` exposes every knob;
+these builders name the handful of configurations that recur across
+examples, tests and benchmarks so callers say *what* they want instead of
+re-deriving parameter sets:
+
+* :func:`paper_fleet` — the evaluation setting of Sec. V (12 pumps,
+  3 months), at a configurable measurement density;
+* :func:`mixed_health_fleet` — pumps spread across all three zones with
+  no planned maintenance (the classification workloads);
+* :func:`noisy_deployment` — a fleet with unstable sensors and
+  undocumented faults (the robustness workloads);
+* :func:`conservative_fab` — the paper's *baseline* world: fixed-period
+  replacement wasting healthy pumps (the economics workloads).
+"""
+
+from __future__ import annotations
+
+from repro.simulation.fleet import FleetConfig, FleetDataset, FleetSimulator
+
+
+def paper_fleet(
+    report_interval_days: float = 0.125,
+    seed: int = 7,
+) -> FleetDataset:
+    """The paper's 12-pump, 3-month evaluation fleet.
+
+    Args:
+        report_interval_days: measurement period; the paper's 10 minutes
+            is ``10 / (60 * 24)`` (155,520 measurements — slow in pure
+            Python), the default 3 hours gives ~8.6k with identical code
+            paths.
+        seed: RNG seed.
+    """
+    config = FleetConfig(
+        num_pumps=12,
+        duration_days=90.0,
+        report_interval_days=report_interval_days,
+        pm_interval_days=None,
+        max_initial_age_fraction=0.9,
+        model_ii_fraction=1.0 / 3.0,
+        seed=seed,
+    )
+    return FleetSimulator(config).run()
+
+
+def mixed_health_fleet(
+    num_pumps: int = 8,
+    duration_days: float = 80.0,
+    report_interval_days: float = 1.0,
+    seed: int = 11,
+) -> FleetDataset:
+    """A fleet whose measurements span all three zones.
+
+    Pumps start at staggered ages up to 90% of life and run to failure,
+    so Zone A, BC and D are all populated — the precondition for
+    training and evaluating the zone classifier.
+    """
+    config = FleetConfig(
+        num_pumps=num_pumps,
+        duration_days=duration_days,
+        report_interval_days=report_interval_days,
+        pm_interval_days=None,
+        max_initial_age_fraction=0.9,
+        seed=seed,
+    )
+    return FleetSimulator(config).run()
+
+
+def noisy_deployment(
+    num_pumps: int = 8,
+    duration_days: float = 60.0,
+    unstable_sensor_fraction: float = 0.4,
+    fault_fraction: float = 0.5,
+    seed: int = 21,
+) -> FleetDataset:
+    """The hostile case: drifting sensors and undocumented faults.
+
+    Exercises the outlier-detection, epoch-splitting and diagnosis
+    layers together.
+    """
+    config = FleetConfig(
+        num_pumps=num_pumps,
+        duration_days=duration_days,
+        report_interval_days=1.0,
+        pm_interval_days=None,
+        max_initial_age_fraction=0.9,
+        unstable_sensor_fraction=unstable_sensor_fraction,
+        fault_fraction=fault_fraction,
+        seed=seed,
+    )
+    return FleetSimulator(config).run()
+
+
+def conservative_fab(
+    num_pumps: int = 10,
+    duration_days: float = 120.0,
+    pm_interval_days: float = 60.0,
+    seed: int = 9,
+) -> FleetDataset:
+    """The paper's strawman: fixed-period replacement.
+
+    Short PM intervals guarantee recorded PM events with large wasted
+    RUL — the raw material of the Table IV economics.
+    """
+    config = FleetConfig(
+        num_pumps=num_pumps,
+        duration_days=duration_days,
+        report_interval_days=2.0,
+        pm_interval_days=pm_interval_days,
+        seed=seed,
+    )
+    return FleetSimulator(config).run()

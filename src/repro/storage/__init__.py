@@ -1,0 +1,49 @@
+"""Data-engine substrate: record types, SQLite stores and the retrieval API.
+
+This layer plays the role of the paper's factory database + sensor database
+pair and the restful-type data retrieval layer at the bottom of Fig. 7.
+"""
+
+from repro.storage.records import (
+    LabelRecord,
+    MaintenanceEvent,
+    Measurement,
+    SensorMeta,
+    TemperatureRecord,
+)
+from repro.storage.database import (
+    EventStore,
+    LabelStore,
+    MeasurementStore,
+    TemperatureStore,
+    VibrationDatabase,
+)
+from repro.storage.api import AnalysisPeriod, DataRetrievalAPI
+from repro.storage.aggregate import DailySummary, RetentionManager
+from repro.storage.traces import (
+    export_csv_measurement,
+    export_npz,
+    import_csv_measurement,
+    import_npz,
+)
+
+__all__ = [
+    "Measurement",
+    "LabelRecord",
+    "MaintenanceEvent",
+    "SensorMeta",
+    "TemperatureRecord",
+    "MeasurementStore",
+    "LabelStore",
+    "EventStore",
+    "TemperatureStore",
+    "VibrationDatabase",
+    "AnalysisPeriod",
+    "DataRetrievalAPI",
+    "DailySummary",
+    "RetentionManager",
+    "export_npz",
+    "import_npz",
+    "export_csv_measurement",
+    "import_csv_measurement",
+]

@@ -1,0 +1,121 @@
+"""Analysis-period data retrieval API (the bottom layer of Fig. 7).
+
+The paper exposes a "common restful-type API" that hands the transformation
+layer every record inside an *analysis period* ``[Ts, Te)``.  The period is
+a rolling window: the system refreshes it periodically (hourly in the
+paper's example) so the engine recomputes on the newest data.
+
+``DataRetrievalAPI`` provides exactly that contract over a
+:class:`~repro.storage.database.VibrationDatabase`, including the rolling
+refresh (``advance``) semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.database import VibrationDatabase
+from repro.storage.records import (
+    LabelRecord,
+    MaintenanceEvent,
+    Measurement,
+    TemperatureRecord,
+)
+
+
+@dataclass(frozen=True)
+class AnalysisPeriod:
+    """Half-open analysis window ``[start_day, end_day)``.
+
+    Attributes:
+        start_day: ``Ts`` in deployment epoch days.
+        end_day: ``Te`` in deployment epoch days; must exceed ``Ts``.
+    """
+
+    start_day: float
+    end_day: float
+
+    def __post_init__(self) -> None:
+        if not self.end_day > self.start_day:
+            raise ValueError("end_day must be greater than start_day")
+
+    @property
+    def duration_days(self) -> float:
+        return self.end_day - self.start_day
+
+    def advanced(self, delta_days: float) -> "AnalysisPeriod":
+        """The next rolling window: the paper's ``Te_j = Te_{j-1} + delta``.
+
+        The start is kept fixed (the engine accumulates history) and the
+        end slides forward, matching the refresh rule of Sec. III-B.
+        """
+        if delta_days <= 0:
+            raise ValueError("delta_days must be positive")
+        return AnalysisPeriod(self.start_day, self.end_day + delta_days)
+
+    def contains(self, day: float) -> bool:
+        return self.start_day <= day < self.end_day
+
+
+class DataRetrievalAPI:
+    """Typed retrieval facade scoped to an analysis period."""
+
+    def __init__(self, database: VibrationDatabase, period: AnalysisPeriod):
+        self._db = database
+        self.period = period
+
+    def advance(self, delta_days: float) -> None:
+        """Slide the analysis window forward (periodic refresh)."""
+        self.period = self.period.advanced(delta_days)
+
+    # ------------------------------------------------------------------
+    # Retrieval endpoints.
+    # ------------------------------------------------------------------
+    def get_measurements(self, pump_ids: list[int] | None = None) -> list[Measurement]:
+        """Measurements inside the current analysis period."""
+        return self._db.measurements.query(
+            self.period.start_day, self.period.end_day, pump_ids
+        )
+
+    def get_labels(self, pump_ids: list[int] | None = None) -> list[LabelRecord]:
+        """Valid expert labels (invalid labels are discarded, as the paper does)."""
+        return self._db.labels.query(pump_ids=pump_ids, only_valid=True)
+
+    def get_events(self, pump_ids: list[int] | None = None) -> list[MaintenanceEvent]:
+        """Maintenance events inside the current analysis period."""
+        return self._db.events.query(self.period.start_day, self.period.end_day, pump_ids)
+
+    def get_temperature(self, pump_ids: list[int] | None = None) -> list[TemperatureRecord]:
+        """FICS temperature readings inside the current analysis period."""
+        return self._db.temperature.query(
+            self.period.start_day, self.period.end_day, pump_ids
+        )
+
+    # ------------------------------------------------------------------
+    # Matrix construction helpers for the transformation layer.
+    # ------------------------------------------------------------------
+    def measurement_matrices(
+        self, pump_ids: list[int] | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Dense arrays ``(pump_ids, measurement_ids, service_days, samples)``.
+
+        Measurements whose block length differs from the majority ``K``
+        are dropped (incomplete sensor transfers cannot be stacked), which
+        implements the "eliminating invalid measurements to prevent
+        unwanted computations" step of the preprocessing layer.
+        """
+        records = self.get_measurements(pump_ids)
+        if not records:
+            empty = np.empty(0)
+            return empty.astype(int), empty.astype(int), empty, np.empty((0, 0, 3))
+        lengths = np.asarray([r.num_samples for r in records])
+        counts = np.bincount(lengths)
+        k = int(counts.argmax())
+        kept = [r for r in records if r.num_samples == k]
+        pumps = np.asarray([r.pump_id for r in kept], dtype=int)
+        mids = np.asarray([r.measurement_id for r in kept], dtype=int)
+        service = np.asarray([r.service_day for r in kept], dtype=np.float64)
+        samples = np.stack([r.samples for r in kept])
+        return pumps, mids, service, samples

@@ -1,0 +1,314 @@
+"""SQLite-backed stores for measurements, labels, events and temperature.
+
+The paper's engine reads from a *sensor database* (vibration measurements)
+and a *factory database* (FICS events, maintenance records, temperature).
+Both are modelled here over a single SQLite connection — in-memory by
+default, file-backed when a path is given — with acceleration blocks stored
+as raw little-endian float32 BLOBs for compactness (the sensors themselves
+emit 2-byte counts; float32 keeps full post-conversion precision at half
+the float64 footprint).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.storage.records import (
+    LabelRecord,
+    MaintenanceEvent,
+    Measurement,
+    SensorMeta,
+    TemperatureRecord,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS sensors (
+    sensor_id INTEGER PRIMARY KEY,
+    pump_id INTEGER NOT NULL,
+    sampling_rate_hz REAL NOT NULL,
+    samples_per_measurement INTEGER NOT NULL,
+    install_day REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS measurements (
+    pump_id INTEGER NOT NULL,
+    measurement_id INTEGER NOT NULL,
+    timestamp_day REAL NOT NULL,
+    service_day REAL NOT NULL,
+    sampling_rate_hz REAL NOT NULL,
+    num_samples INTEGER NOT NULL,
+    samples BLOB NOT NULL,
+    PRIMARY KEY (pump_id, measurement_id)
+);
+CREATE INDEX IF NOT EXISTS idx_measurements_time ON measurements (timestamp_day);
+CREATE TABLE IF NOT EXISTS labels (
+    pump_id INTEGER NOT NULL,
+    measurement_id INTEGER NOT NULL,
+    zone TEXT NOT NULL,
+    source TEXT NOT NULL,
+    valid INTEGER NOT NULL,
+    PRIMARY KEY (pump_id, measurement_id, source)
+);
+CREATE TABLE IF NOT EXISTS events (
+    pump_id INTEGER NOT NULL,
+    timestamp_day REAL NOT NULL,
+    kind TEXT NOT NULL,
+    service_day_at_event REAL NOT NULL,
+    true_rul_days REAL
+);
+CREATE INDEX IF NOT EXISTS idx_events_time ON events (timestamp_day);
+CREATE TABLE IF NOT EXISTS temperature (
+    pump_id INTEGER NOT NULL,
+    timestamp_day REAL NOT NULL,
+    temperature_c REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_temperature_time ON temperature (timestamp_day);
+"""
+
+
+class VibrationDatabase:
+    """Owner of the SQLite connection and the typed store facades."""
+
+    def __init__(self, path: str = ":memory:"):
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self.measurements = MeasurementStore(self._conn)
+        self.labels = LabelStore(self._conn)
+        self.events = EventStore(self._conn)
+        self.temperature = TemperatureStore(self._conn)
+        self.sensors = SensorStore(self._conn)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "VibrationDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SensorStore:
+    """Sensor metadata table."""
+
+    def __init__(self, conn: sqlite3.Connection):
+        self._conn = conn
+
+    def add(self, meta: SensorMeta) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO sensors VALUES (?, ?, ?, ?, ?)",
+            (
+                meta.sensor_id,
+                meta.pump_id,
+                meta.sampling_rate_hz,
+                meta.samples_per_measurement,
+                meta.install_day,
+            ),
+        )
+        self._conn.commit()
+
+    def all(self) -> list[SensorMeta]:
+        rows = self._conn.execute(
+            "SELECT sensor_id, pump_id, sampling_rate_hz, samples_per_measurement,"
+            " install_day FROM sensors ORDER BY sensor_id"
+        ).fetchall()
+        return [SensorMeta(*row) for row in rows]
+
+
+class MeasurementStore:
+    """Vibration measurement table with BLOB-encoded sample blocks."""
+
+    def __init__(self, conn: sqlite3.Connection):
+        self._conn = conn
+
+    @staticmethod
+    def _encode(samples: np.ndarray) -> bytes:
+        return np.ascontiguousarray(samples, dtype="<f4").tobytes()
+
+    @staticmethod
+    def _decode(blob: bytes, num_samples: int) -> np.ndarray:
+        arr = np.frombuffer(blob, dtype="<f4").astype(np.float64)
+        return arr.reshape(num_samples, 3)
+
+    def add(self, measurement: Measurement) -> None:
+        self.add_many([measurement])
+
+    def add_many(self, measurements: Iterable[Measurement]) -> None:
+        rows = [
+            (
+                m.pump_id,
+                m.measurement_id,
+                m.timestamp_day,
+                m.service_day,
+                m.sampling_rate_hz,
+                m.num_samples,
+                self._encode(m.samples),
+            )
+            for m in measurements
+        ]
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO measurements VALUES (?, ?, ?, ?, ?, ?, ?)", rows
+        )
+        self._conn.commit()
+
+    def query(
+        self,
+        start_day: float = -np.inf,
+        end_day: float = np.inf,
+        pump_ids: Sequence[int] | None = None,
+    ) -> list[Measurement]:
+        """Measurements with ``start_day <= timestamp_day < end_day``."""
+        sql = (
+            "SELECT pump_id, measurement_id, timestamp_day, service_day,"
+            " sampling_rate_hz, num_samples, samples FROM measurements"
+            " WHERE timestamp_day >= ? AND timestamp_day < ?"
+        )
+        params: list[object] = [float(start_day), float(end_day)]
+        if pump_ids is not None:
+            placeholders = ",".join("?" * len(pump_ids))
+            sql += f" AND pump_id IN ({placeholders})"
+            params.extend(int(p) for p in pump_ids)
+        sql += " ORDER BY timestamp_day, pump_id, measurement_id"
+        out = []
+        for pump_id, mid, ts, service, fs, k, blob in self._conn.execute(sql, params):
+            out.append(
+                Measurement(
+                    pump_id=pump_id,
+                    measurement_id=mid,
+                    timestamp_day=ts,
+                    service_day=service,
+                    samples=self._decode(blob, k),
+                    sampling_rate_hz=fs,
+                )
+            )
+        return out
+
+    def count(self) -> int:
+        (n,) = self._conn.execute("SELECT COUNT(*) FROM measurements").fetchone()
+        return int(n)
+
+
+class LabelStore:
+    """Expert label table."""
+
+    def __init__(self, conn: sqlite3.Connection):
+        self._conn = conn
+
+    def add(self, label: LabelRecord) -> None:
+        self.add_many([label])
+
+    def add_many(self, labels: Iterable[LabelRecord]) -> None:
+        rows = [
+            (l.pump_id, l.measurement_id, l.zone, l.source, int(l.valid)) for l in labels
+        ]
+        self._conn.executemany("INSERT OR REPLACE INTO labels VALUES (?, ?, ?, ?, ?)", rows)
+        self._conn.commit()
+
+    def query(
+        self,
+        pump_ids: Sequence[int] | None = None,
+        only_valid: bool = True,
+    ) -> list[LabelRecord]:
+        sql = "SELECT pump_id, measurement_id, zone, source, valid FROM labels"
+        clauses = []
+        params: list[object] = []
+        if only_valid:
+            clauses.append("valid = 1")
+        if pump_ids is not None:
+            placeholders = ",".join("?" * len(pump_ids))
+            clauses.append(f"pump_id IN ({placeholders})")
+            params.extend(int(p) for p in pump_ids)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY pump_id, measurement_id"
+        return [
+            LabelRecord(pump_id=p, measurement_id=m, zone=z, source=s, valid=bool(v))
+            for p, m, z, s, v in self._conn.execute(sql, params)
+        ]
+
+    def count(self, only_valid: bool = False) -> int:
+        sql = "SELECT COUNT(*) FROM labels"
+        if only_valid:
+            sql += " WHERE valid = 1"
+        (n,) = self._conn.execute(sql).fetchone()
+        return int(n)
+
+
+class EventStore:
+    """Maintenance event table (PM/BM)."""
+
+    def __init__(self, conn: sqlite3.Connection):
+        self._conn = conn
+
+    def add(self, event: MaintenanceEvent) -> None:
+        self.add_many([event])
+
+    def add_many(self, events: Iterable[MaintenanceEvent]) -> None:
+        rows = [
+            (e.pump_id, e.timestamp_day, e.kind, e.service_day_at_event, e.true_rul_days)
+            for e in events
+        ]
+        self._conn.executemany("INSERT INTO events VALUES (?, ?, ?, ?, ?)", rows)
+        self._conn.commit()
+
+    def query(
+        self,
+        start_day: float = -np.inf,
+        end_day: float = np.inf,
+        pump_ids: Sequence[int] | None = None,
+    ) -> list[MaintenanceEvent]:
+        sql = (
+            "SELECT pump_id, timestamp_day, kind, service_day_at_event, true_rul_days"
+            " FROM events WHERE timestamp_day >= ? AND timestamp_day < ?"
+        )
+        params: list[object] = [float(start_day), float(end_day)]
+        if pump_ids is not None:
+            placeholders = ",".join("?" * len(pump_ids))
+            sql += f" AND pump_id IN ({placeholders})"
+            params.extend(int(p) for p in pump_ids)
+        sql += " ORDER BY timestamp_day"
+        return [
+            MaintenanceEvent(
+                pump_id=p,
+                timestamp_day=t,
+                kind=k,
+                service_day_at_event=s,
+                true_rul_days=r if r is not None else float("nan"),
+            )
+            for p, t, k, s, r in self._conn.execute(sql, params)
+        ]
+
+
+class TemperatureStore:
+    """FICS temperature reading table."""
+
+    def __init__(self, conn: sqlite3.Connection):
+        self._conn = conn
+
+    def add_many(self, records: Iterable[TemperatureRecord]) -> None:
+        rows = [(r.pump_id, r.timestamp_day, r.temperature_c) for r in records]
+        self._conn.executemany("INSERT INTO temperature VALUES (?, ?, ?)", rows)
+        self._conn.commit()
+
+    def query(
+        self,
+        start_day: float = -np.inf,
+        end_day: float = np.inf,
+        pump_ids: Sequence[int] | None = None,
+    ) -> list[TemperatureRecord]:
+        sql = (
+            "SELECT pump_id, timestamp_day, temperature_c FROM temperature"
+            " WHERE timestamp_day >= ? AND timestamp_day < ?"
+        )
+        params: list[object] = [float(start_day), float(end_day)]
+        if pump_ids is not None:
+            placeholders = ",".join("?" * len(pump_ids))
+            sql += f" AND pump_id IN ({placeholders})"
+            params.extend(int(p) for p in pump_ids)
+        sql += " ORDER BY timestamp_day"
+        return [
+            TemperatureRecord(pump_id=p, timestamp_day=t, temperature_c=c)
+            for p, t, c in self._conn.execute(sql, params)
+        ]

@@ -1,0 +1,158 @@
+"""Trace import/export: move measurement corpora in and out of the system.
+
+Two interchange paths a downstream adopter needs:
+
+* **NPZ corpus** — lossless bulk export/import of a whole measurement set
+  (samples + metadata) for sharing synthetic corpora or checkpointing a
+  deployment's data;
+* **CSV import** — the lowest-common-denominator path for real
+  accelerometer logs: one file per measurement with ``x,y,z`` columns in
+  g, plus the metadata supplied alongside.  This is how a user feeds
+  *their own* sensor data to the analysis pipeline.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.storage.records import Measurement
+
+
+def export_npz(measurements: list[Measurement], path: str | Path) -> Path:
+    """Write a measurement corpus to one ``.npz`` file.
+
+    Blocks of differing lengths are allowed; they are stored padded with
+    NaN and unpadded on import.
+
+    Args:
+        measurements: records to export.
+        path: destination file (parents created).
+
+    Returns:
+        The resolved path written.
+    """
+    if not measurements:
+        raise ValueError("nothing to export")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+
+    max_k = max(m.num_samples for m in measurements)
+    n = len(measurements)
+    samples = np.full((n, max_k, 3), np.nan, dtype=np.float32)
+    lengths = np.empty(n, dtype=np.int64)
+    for i, m in enumerate(measurements):
+        samples[i, : m.num_samples] = m.samples
+        lengths[i] = m.num_samples
+    np.savez_compressed(
+        target,
+        samples=samples,
+        lengths=lengths,
+        pump_ids=np.asarray([m.pump_id for m in measurements], dtype=np.int64),
+        measurement_ids=np.asarray(
+            [m.measurement_id for m in measurements], dtype=np.int64
+        ),
+        timestamp_days=np.asarray([m.timestamp_day for m in measurements]),
+        service_days=np.asarray([m.service_day for m in measurements]),
+        sampling_rates=np.asarray([m.sampling_rate_hz for m in measurements]),
+    )
+    return target
+
+
+def import_npz(path: str | Path) -> list[Measurement]:
+    """Read a corpus written by :func:`export_npz`.
+
+    Raises:
+        ValueError: when the file misses any expected array.
+    """
+    with np.load(Path(path)) as data:
+        required = {
+            "samples",
+            "lengths",
+            "pump_ids",
+            "measurement_ids",
+            "timestamp_days",
+            "service_days",
+            "sampling_rates",
+        }
+        missing = required - set(data.files)
+        if missing:
+            raise ValueError(f"corpus is missing arrays: {sorted(missing)}")
+        out = []
+        for i in range(data["pump_ids"].shape[0]):
+            k = int(data["lengths"][i])
+            out.append(
+                Measurement(
+                    pump_id=int(data["pump_ids"][i]),
+                    measurement_id=int(data["measurement_ids"][i]),
+                    timestamp_day=float(data["timestamp_days"][i]),
+                    service_day=float(data["service_days"][i]),
+                    samples=np.asarray(data["samples"][i, :k], dtype=np.float64),
+                    sampling_rate_hz=float(data["sampling_rates"][i]),
+                )
+            )
+    return out
+
+
+def import_csv_measurement(
+    path: str | Path,
+    pump_id: int,
+    measurement_id: int,
+    timestamp_day: float,
+    service_day: float,
+    sampling_rate_hz: float = 4000.0,
+) -> Measurement:
+    """Read one measurement from a ``x,y,z`` CSV of acceleration in g.
+
+    The file may carry a header row (any line whose first field is not a
+    number is skipped).
+
+    Args:
+        path: CSV file with three numeric columns.
+        pump_id: equipment the block belongs to.
+        measurement_id: sequence number to assign.
+        timestamp_day: absolute measurement time in days.
+        service_day: pump service time in days.
+        sampling_rate_hz: block sampling rate.
+
+    Raises:
+        ValueError: on malformed rows or fewer than 2 samples.
+    """
+    rows: list[tuple[float, float, float]] = []
+    with open(Path(path), newline="") as handle:
+        for line_no, row in enumerate(csv.reader(handle), start=1):
+            if not row:
+                continue
+            try:
+                x = float(row[0])
+            except (ValueError, IndexError):
+                if line_no == 1:
+                    continue  # header
+                raise ValueError(f"malformed row {line_no}: {row!r}")
+            if len(row) < 3:
+                raise ValueError(f"row {line_no} has fewer than 3 columns")
+            rows.append((x, float(row[1]), float(row[2])))
+    if len(rows) < 2:
+        raise ValueError("measurement needs at least 2 samples")
+    return Measurement(
+        pump_id=pump_id,
+        measurement_id=measurement_id,
+        timestamp_day=timestamp_day,
+        service_day=service_day,
+        samples=np.asarray(rows, dtype=np.float64),
+        sampling_rate_hz=sampling_rate_hz,
+    )
+
+
+def export_csv_measurement(measurement: Measurement, path: str | Path) -> Path:
+    """Write one measurement block as a ``x,y,z`` CSV (with header)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x_g", "y_g", "z_g"])
+        for row in measurement.samples:
+            writer.writerow([f"{v:.9g}" for v in row])
+    return target

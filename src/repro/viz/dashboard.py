@@ -1,0 +1,310 @@
+"""Self-contained HTML fleet dashboard — the GUI component of Fig. 1.
+
+Renders an :class:`~repro.analysis.engine.AnalysisReport` into a single
+HTML file with no external dependencies: inline CSS (light and dark via
+``prefers-color-scheme``) and inline SVG charts.
+
+Design notes (following the project's data-viz conventions):
+
+* zone state is shown as a **status badge with a text label** — color
+  never carries meaning alone (A → good, BC → warning, D → critical);
+* per-pump ``D_a`` **sparklines** are single-series 2px lines in the
+  primary series hue with an 8px end-dot ringed in the surface color —
+  one series, so no legend box;
+* the fleet scatter keeps **one axis pair**, hairline gridlines, muted
+  dots for measurements and 2px lines for the discovered lifetime
+  models, with a legend for the multi-series plot;
+* all text wears ink tokens, never series colors; marks carry native
+  ``<title>`` tooltips (the dependency-free hover layer), and the
+  per-pump table is the table view of the same data.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.engine import AnalysisReport
+from repro.analysis.reporting import build_alerts, fleet_health_summary
+from repro.core.classify import ZONE_A, ZONE_BC, ZONE_D
+
+# Reference palette roles (light, dark).
+_CSS = """
+:root { color-scheme: light dark; }
+.viz-root {
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9;
+  --series-1: #2a78d6; --series-2: #1baf7a;
+  --status-good: #0ca30c; --status-warning: #fab219;
+  --status-critical: #d03b3b;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--ink-1);
+  margin: 0; padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a;
+    --series-1: #3987e5; --series-2: #199e70;
+  }
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root .subtitle { color: var(--ink-2); margin: 0 0 20px; font-size: 13px; }
+.viz-root section { background: var(--surface-1); border-radius: 8px;
+  padding: 16px 20px; margin-bottom: 16px; }
+.viz-root h2 { font-size: 13px; font-weight: 600; color: var(--ink-2);
+  text-transform: uppercase; letter-spacing: 0.04em; margin: 0 0 12px; }
+.tiles { display: flex; gap: 24px; flex-wrap: wrap; }
+.tile .label { font-size: 12px; color: var(--ink-2); }
+.tile .value { font-size: 28px; font-weight: 600; }
+.badge { display: inline-block; padding: 1px 8px; border-radius: 10px;
+  font-size: 12px; font-weight: 600; color: var(--surface-1); }
+.badge.zone-a { background: var(--status-good); }
+.badge.zone-bc { background: var(--status-warning); color: #0b0b0b; }
+.badge.zone-d { background: var(--status-critical); }
+.badge.zone-unknown { background: var(--ink-3); }
+table.fleet { border-collapse: collapse; width: 100%; font-size: 13px; }
+table.fleet th { text-align: left; color: var(--ink-2); font-weight: 600;
+  border-bottom: 1px solid var(--grid); padding: 6px 10px 6px 0; }
+table.fleet td { border-bottom: 1px solid var(--grid); padding: 6px 10px 6px 0; }
+ul.alerts { margin: 0; padding-left: 18px; font-size: 13px; }
+ul.alerts li { margin-bottom: 4px; }
+.alert-hazard { color: var(--status-critical); font-weight: 600; }
+.alert-upcoming { color: var(--ink-1); }
+.axis-label { font-size: 10px; fill: var(--ink-3); }
+.legend { font-size: 12px; color: var(--ink-2); margin-top: 6px; }
+.legend .key { display: inline-block; width: 14px; height: 3px;
+  vertical-align: middle; margin-right: 4px; border-radius: 2px; }
+"""
+
+_ZONE_BADGE = {
+    ZONE_A: ("zone-a", "A — healthy"),
+    ZONE_BC: ("zone-bc", "BC — caution"),
+    ZONE_D: ("zone-d", "D — hazard"),
+}
+
+
+def _badge(zone: str) -> str:
+    css, label = _ZONE_BADGE.get(zone, ("zone-unknown", "unknown"))
+    return f'<span class="badge {css}">{html.escape(label)}</span>'
+
+
+def _sparkline(days: np.ndarray, values: np.ndarray, width=140, height=32) -> str:
+    """Single-series D_a sparkline: 2px line, ringed 8px end-dot."""
+    finite = np.isfinite(values)
+    xs, ys = days[finite], values[finite]
+    if xs.size < 2:
+        return '<span style="color: var(--ink-3)">–</span>'
+    pad = 5
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    px = pad + (xs - x_lo) / x_span * (width - 2 * pad)
+    py = height - pad - (ys - y_lo) / y_span * (height - 2 * pad)
+    points = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(px, py))
+    tooltip = (
+        f"D_a {y_lo:.3f} to {y_hi:.3f} over service days "
+        f"{x_lo:.0f} to {x_hi:.0f}"
+    )
+    return (
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="{html.escape(tooltip)}">'
+        f"<title>{html.escape(tooltip)}</title>"
+        f'<polyline points="{points}" fill="none" stroke="var(--series-1)" '
+        f'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+        f'<circle cx="{px[-1]:.1f}" cy="{py[-1]:.1f}" r="4" '
+        f'fill="var(--series-1)" stroke="var(--surface-1)" stroke-width="2"/>'
+        f"</svg>"
+    )
+
+
+def _fleet_scatter(
+    report: AnalysisReport, width=640, height=260, max_points=400
+) -> str:
+    """D_a vs service time with the discovered lifetime model lines."""
+    valid = report.pipeline.valid_mask
+    days = report.service_days[valid]
+    da = report.pipeline.da[valid]
+    finite = np.isfinite(da)
+    days, da = days[finite], da[finite]
+    if days.size < 2:
+        return "<p>not enough data for the fleet scatter</p>"
+    step = max(1, days.size // max_points)
+    days_s, da_s = days[::step], da[::step]
+
+    pad_l, pad_r, pad_t, pad_b = 46, 12, 10, 30
+    x_lo, x_hi = float(days.min()), float(days.max())
+    y_lo, y_hi = 0.0, float(max(da.max(), report.pipeline.zone_d_threshold) * 1.05)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def sx(v):
+        return pad_l + (v - x_lo) / x_span * (width - pad_l - pad_r)
+
+    def sy(v):
+        return height - pad_b - (v - y_lo) / y_span * (height - pad_t - pad_b)
+
+    parts = [
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="Fleet degradation scatter with lifetime models">'
+    ]
+    # Hairline gridlines + tick labels (clean steps).
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y_val = y_lo + frac * y_span
+        y_pix = sy(y_val)
+        parts.append(
+            f'<line x1="{pad_l}" y1="{y_pix:.1f}" x2="{width - pad_r}" '
+            f'y2="{y_pix:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{pad_l - 6}" y="{y_pix + 3:.1f}" text-anchor="end" '
+            f'class="axis-label">{y_val:.2f}</text>'
+        )
+    for frac in (0.0, 0.5, 1.0):
+        x_val = x_lo + frac * x_span
+        parts.append(
+            f'<text x="{sx(x_val):.1f}" y="{height - 10}" text-anchor="middle" '
+            f'class="axis-label">{x_val:.0f} d</text>'
+        )
+    # Measurement dots: muted, small, with native tooltips via title.
+    for x, y in zip(days_s, da_s):
+        parts.append(
+            f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2" '
+            f'fill="var(--ink-3)" fill-opacity="0.45">'
+            f"<title>day {x:.0f}: D_a {y:.3f}</title></circle>"
+        )
+    # Hazard threshold: status line with a text label.
+    thr_y = sy(report.pipeline.zone_d_threshold)
+    parts.append(
+        f'<line x1="{pad_l}" y1="{thr_y:.1f}" x2="{width - pad_r}" '
+        f'y2="{thr_y:.1f}" stroke="var(--status-critical)" stroke-width="1.5" '
+        f'stroke-dasharray="none" opacity="0.8"/>'
+        f'<text x="{width - pad_r}" y="{thr_y - 4:.1f}" text-anchor="end" '
+        f'class="axis-label">zone D boundary '
+        f"{report.pipeline.zone_d_threshold:.2f}</text>"
+    )
+    # Lifetime model lines: 2px, categorical slots.
+    series_vars = ("var(--series-1)", "var(--series-2)")
+    for i, model in enumerate(report.lifetime_models[:2]):
+        y1 = model.predict(x_lo)
+        y2 = model.predict(x_hi)
+        parts.append(
+            f'<line x1="{sx(x_lo):.1f}" y1="{sy(y1):.1f}" '
+            f'x2="{sx(x_hi):.1f}" y2="{sy(max(min(y2, y_hi), y_lo)):.1f}" '
+            f'stroke="{series_vars[i]}" stroke-width="2" '
+            f'stroke-linecap="round">'
+            f"<title>model {i + 1}: slope {model.slope:.2e}/day</title></line>"
+        )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span><span class="key" style="background:{series_vars[i]}"></span>'
+        f"model {i + 1} ({model.n_inliers} meas.)</span>&nbsp;&nbsp;"
+        for i, model in enumerate(report.lifetime_models[:2])
+    )
+    parts.append(f'<div class="legend">{legend}'
+                 '<span><span class="key" style="background:var(--ink-3)">'
+                 "</span>measurements</span></div>")
+    return "".join(parts)
+
+
+def render_dashboard(report: AnalysisReport, title: str = "Fleet dashboard") -> str:
+    """Render the full dashboard HTML document."""
+    health = fleet_health_summary(report)
+    alerts = build_alerts(report)
+    n_pumps = len(set(int(p) for p in report.pump_ids))
+
+    tiles = [
+        ("Pumps monitored", str(n_pumps)),
+        ("Measurements", f"{report.pump_ids.shape[0]:,}"),
+        ("Active alerts", str(len(alerts))),
+        ("Zone D boundary", f"{report.pipeline.zone_d_threshold:.3f}"),
+    ]
+    tiles_html = "".join(
+        f'<div class="tile"><div class="label">{html.escape(label)}</div>'
+        f'<div class="value">{html.escape(value)}</div></div>'
+        for label, value in tiles
+    )
+
+    if alerts:
+        alerts_html = "<ul class='alerts'>" + "".join(
+            f'<li class="alert-{a.severity}">'
+            f'{"&#9888; " if a.severity == "hazard" else "&#8986; "}'
+            f"{html.escape(a.message)}</li>"
+            for a in alerts
+        ) + "</ul>"
+    else:
+        alerts_html = "<p>No pump reaches hazard within the horizon.</p>"
+
+    show_diagnosis = bool(report.diagnoses)
+    rows = []
+    for pump in sorted(set(int(p) for p in report.pump_ids)):
+        member = np.nonzero(
+            (report.pump_ids == pump) & report.pipeline.valid_mask
+        )[0]
+        order = member[np.argsort(report.service_days[member])]
+        spark = _sparkline(
+            report.service_days[order], report.pipeline.da[order]
+        )
+        prediction = report.rul.get(pump)
+        rul_text = f"{prediction.rul_days:,.0f}" if prediction else "–"
+        model_text = f"{prediction.model_index + 1}" if prediction else "–"
+        diag_cell = ""
+        if show_diagnosis:
+            diagnosis = report.diagnoses.get(pump)
+            diag_cell = f"<td>{html.escape(diagnosis.label) if diagnosis else '–'}</td>"
+        rows.append(
+            f"<tr><td>{pump}</td><td>{_badge(report.zone_of(pump))}</td>"
+            f"<td>{model_text}</td><td>{rul_text}</td>{diag_cell}"
+            f"<td>{spark}</td></tr>"
+        )
+    diag_header = "<th>Diagnosis</th>" if show_diagnosis else ""
+    table_html = (
+        "<table class='fleet'><thead><tr>"
+        "<th>Pump</th><th>Zone</th><th>Model</th><th>RUL (days)</th>"
+        f"{diag_header}<th>D_a trend</th></tr></thead><tbody>"
+        + "".join(rows)
+        + "</tbody></table>"
+    )
+
+    wasted = report.wasted_rul
+    cost_html = (
+        f"<p>Planned replacements wasted "
+        f"<strong>{wasted['pm_wasted_days']:,.0f} useful days</strong> "
+        f"(${wasted['pm_wasted_usd']:,.0f}); breakdown penalties "
+        f"${wasted['bm_penalty_usd']:,.0f}; total "
+        f"<strong>${wasted['total_usd']:,.0f}</strong>.</p>"
+    )
+
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{html.escape(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body class="viz-root">
+<h1>{html.escape(title)}</h1>
+<p class="subtitle">Vibration-based predictive maintenance &middot;
+{report.n_labels_used} expert labels &middot;
+{len(report.lifetime_models)} lifetime models</p>
+<section><h2>Fleet health</h2><div class="tiles">{tiles_html}</div></section>
+<section><h2>Alerts</h2>{alerts_html}</section>
+<section><h2>Fleet degradation</h2>{_fleet_scatter(report)}</section>
+<section><h2>Per-pump status</h2>{table_html}</section>
+<section><h2>Maintenance cost (analysis window)</h2>{cost_html}</section>
+</body>
+</html>"""
+
+
+def write_dashboard(
+    report: AnalysisReport, path: str | Path, title: str = "Fleet dashboard"
+) -> Path:
+    """Render and write the dashboard; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_dashboard(report, title), encoding="utf-8")
+    return target

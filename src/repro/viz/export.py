@@ -1,0 +1,34 @@
+"""CSV artifact export for benchmark outputs."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def write_csv(
+    path: str | Path,
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write a CSV artifact, creating parent directories as needed.
+
+    Args:
+        path: destination file.
+        header: column names.
+        rows: row tuples; lengths must match the header.
+
+    Returns:
+        The resolved path written.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(header))
+        for row in rows:
+            if len(row) != len(header):
+                raise ValueError(f"row length {len(row)} != header length {len(header)}")
+            writer.writerow(list(row))
+    return target

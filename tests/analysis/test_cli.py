@@ -1,0 +1,189 @@
+"""Tests for the command-line interface (cli.py)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestSpecs:
+    def test_prints_table1(self):
+        code, text = run_cli(["specs"])
+        assert code == 0
+        assert "Piezo" in text and "MEMS" in text
+        assert "4000" in text  # MEMS noise density
+
+
+class TestPlan:
+    def test_prints_requested_grid(self):
+        code, text = run_cli(
+            ["plan", "--sampling-hz", "150", "--target-years", "3"]
+        )
+        assert code == 0
+        assert "10.2" in text  # the paper's 3-yr anchor
+        assert "2,57" in text  # ~2,576 measurements
+
+    def test_infeasible_target_reported(self):
+        code, text = run_cli(
+            ["plan", "--sampling-hz", "150", "--target-years", "50"]
+        )
+        assert code == 0
+        assert "infeasible" in text
+
+
+class TestSimulateAnalyze:
+    def test_end_to_end_roundtrip(self, tmp_path):
+        db_path = str(tmp_path / "fleet.db")
+        code, text = run_cli(
+            [
+                "simulate",
+                "--db", db_path,
+                "--pumps", "4",
+                "--days", "50",
+                "--interval", "1.0",
+                "--labels", "20,20,10",
+                "--seed", "11",
+            ]
+        )
+        assert code == 0
+        assert "wrote 200 measurements" in text
+
+        code, text = run_cli(["analyze", "--db", db_path, "--moving-average", "4"])
+        assert code == 0
+        assert "FLEET REPORT" in text
+        assert "PER-PUMP STATUS" in text
+
+    def test_simulate_rejects_bad_label_spec(self, tmp_path):
+        code, text = run_cli(
+            ["simulate", "--db", str(tmp_path / "x.db"), "--labels", "1,2"]
+        )
+        assert code == 2
+        assert "three integers" in text
+
+    def test_simulate_reports_unsatisfiable_label_mix(self, tmp_path):
+        code, text = run_cli(
+            [
+                "simulate",
+                "--db", str(tmp_path / "y.db"),
+                "--pumps", "2",
+                "--days", "5",
+                "--interval", "1.0",
+                "--labels", "5,5,5000",
+                "--seed", "1",
+            ]
+        )
+        assert code == 2
+        assert "label mix" in text
+
+    def test_analyze_empty_database_fails_cleanly(self, tmp_path):
+        from repro.storage.database import VibrationDatabase
+
+        db_path = str(tmp_path / "empty.db")
+        VibrationDatabase(db_path).close()
+        code, text = run_cli(["analyze", "--db", db_path])
+        assert code == 1
+        assert "error" in text
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestCompactScheduleExport:
+    @pytest.fixture()
+    def populated_db(self, tmp_path):
+        db_path = str(tmp_path / "fleet.db")
+        code, _ = run_cli(
+            [
+                "simulate", "--db", db_path,
+                "--pumps", "4", "--days", "50", "--interval", "1.0",
+                "--labels", "20,20,10", "--seed", "11",
+            ]
+        )
+        assert code == 0
+        return db_path
+
+    def test_compact_summarizes_and_deletes(self, populated_db):
+        code, text = run_cli(
+            ["compact", "--db", populated_db, "--keep-days", "10", "--now", "50"]
+        )
+        assert code == 0
+        assert "summaries written" in text
+        assert "raw measurements remain" in text
+        # Second run is a no-op.
+        code, text = run_cli(
+            ["compact", "--db", populated_db, "--keep-days", "10", "--now", "50"]
+        )
+        assert code == 0
+        assert "0 raw measurements deleted" in text
+
+    def test_schedule_prints_plan_or_empty(self, populated_db):
+        code, text = run_cli(
+            ["schedule", "--db", populated_db, "--moving-average", "4",
+             "--capacity", "2", "--horizon", "52"]
+        )
+        assert code == 0
+        assert "period" in text or "no replacements due" in text
+
+    def test_export_roundtrip(self, populated_db, tmp_path):
+        out_path = str(tmp_path / "corpus.npz")
+        code, text = run_cli(["export", "--db", populated_db, "--out", out_path])
+        assert code == 0
+        assert "exported 200 measurements" in text
+
+        from repro.storage.traces import import_npz
+
+        corpus = import_npz(out_path)
+        assert len(corpus) == 200
+
+    def test_export_empty_range_fails(self, populated_db, tmp_path):
+        code, text = run_cli(
+            ["export", "--db", populated_db, "--out", str(tmp_path / "x.npz"),
+             "--start", "1000", "--end", "2000"]
+        )
+        assert code == 1
+        assert "no measurements" in text
+
+
+class TestDashboardCommand:
+    def test_dashboard_written(self, tmp_path):
+        db_path = str(tmp_path / "fleet.db")
+        code, _ = run_cli(
+            ["simulate", "--db", db_path, "--pumps", "4", "--days", "50",
+             "--interval", "1.0", "--labels", "20,20,10", "--seed", "11"]
+        )
+        assert code == 0
+        out_path = str(tmp_path / "dash.html")
+        code, text = run_cli(
+            ["dashboard", "--db", db_path, "--out", out_path,
+             "--moving-average", "4", "--title", "Line 3 pumps"]
+        )
+        assert code == 0
+        assert "dashboard written" in text
+        content = open(out_path).read()
+        assert "Line 3 pumps" in content
+        assert "<svg" in content
+
+    def test_dashboard_on_empty_db_fails(self, tmp_path):
+        from repro.storage.database import VibrationDatabase
+
+        db_path = str(tmp_path / "empty.db")
+        VibrationDatabase(db_path).close()
+        code, text = run_cli(
+            ["dashboard", "--db", db_path, "--out", str(tmp_path / "x.html")]
+        )
+        assert code == 1
+        assert "error" in text

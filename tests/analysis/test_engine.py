@@ -1,0 +1,125 @@
+"""Tests for the end-to-end engine (engine.py)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.engine import EngineConfig, VibrationAnalysisEngine
+from repro.core.pipeline import PipelineConfig
+from repro.storage.api import AnalysisPeriod, DataRetrievalAPI
+from repro.storage.database import VibrationDatabase
+
+
+@pytest.fixture(scope="module")
+def loaded_db(small_fleet):
+    db = VibrationDatabase()
+    small_fleet.to_database(db)
+    records, _ = small_fleet.expert_labels({"A": 30, "BC": 30, "D": 20})
+    db.labels.add_many(records)
+    yield small_fleet, db
+    db.close()
+
+
+@pytest.fixture(scope="module")
+def report(loaded_db):
+    dataset, db = loaded_db
+    api = DataRetrievalAPI(db, AnalysisPeriod(0.0, dataset.config.duration_days + 1))
+    engine = VibrationAnalysisEngine(
+        api, EngineConfig(pipeline=PipelineConfig(ransac_min_inliers=25))
+    )
+    return engine.run()
+
+
+class TestEngineRun:
+    def test_report_covers_all_pumps(self, loaded_db, report):
+        dataset, _ = loaded_db
+        assert set(report.pump_ids) == set(range(dataset.config.num_pumps))
+
+    def test_labels_were_used(self, report):
+        assert report.n_labels_used > 40
+
+    def test_zone_predictions_present(self, loaded_db, report):
+        dataset, _ = loaded_db
+        for pump in range(dataset.config.num_pumps):
+            assert report.zone_of(pump) in ("A", "BC", "D", "")
+
+    def test_rul_predictions_when_models_found(self, report):
+        if report.lifetime_models:
+            assert report.rul
+            for prediction in report.rul.values():
+                assert prediction.slope > 0
+
+    def test_wasted_rul_accounting_matches_events(self, loaded_db, report):
+        dataset, _ = loaded_db
+        assert len(report.events) == len(dataset.events)
+        assert report.wasted_rul["total_usd"] >= 0
+
+    def test_summary_lines_render(self, loaded_db, report):
+        dataset, _ = loaded_db
+        lines = report.summary_lines()
+        assert len(lines) == dataset.config.num_pumps + 1
+        assert lines[0].startswith("pump")
+
+    def test_zone_of_unknown_pump(self, report):
+        assert report.zone_of(999) == ""
+
+
+class TestEngineErrors:
+    def test_empty_period_raises(self, loaded_db):
+        _, db = loaded_db
+        api = DataRetrievalAPI(db, AnalysisPeriod(10_000.0, 10_001.0))
+        with pytest.raises(ValueError, match="no measurements"):
+            VibrationAnalysisEngine(api).run()
+
+    def test_no_labels_raises(self, small_fleet):
+        db = VibrationDatabase()
+        small_fleet.to_database(db)  # measurements but no labels
+        api = DataRetrievalAPI(db, AnalysisPeriod(0.0, 100.0))
+        with pytest.raises(ValueError, match="labels"):
+            VibrationAnalysisEngine(api).run()
+        db.close()
+
+
+class TestEngineDiagnosis:
+    def test_diagnosis_disabled_by_default(self, report):
+        assert report.diagnoses == {}
+
+    def test_diagnosis_produced_when_rotation_known(self, loaded_db):
+        from repro.simulation.signal import MachineProfile
+
+        dataset, db = loaded_db
+        api = DataRetrievalAPI(
+            db, AnalysisPeriod(0.0, dataset.config.duration_days + 1)
+        )
+        engine = VibrationAnalysisEngine(
+            api,
+            EngineConfig(
+                pipeline=PipelineConfig(ransac_min_inliers=25),
+                rotation_hz=MachineProfile().rotation_hz,
+            ),
+        )
+        diagnosed = engine.run()
+        assert set(diagnosed.diagnoses) <= set(range(dataset.config.num_pumps))
+        assert diagnosed.diagnoses, "expected at least one diagnosis"
+        from repro.core.diagnosis import (
+            BEARING_DEFECT,
+            HEALTHY,
+            IMBALANCE,
+            LOOSENESS,
+            MISALIGNMENT,
+        )
+
+        valid_labels = {HEALTHY, IMBALANCE, MISALIGNMENT, LOOSENESS, BEARING_DEFECT}
+        assert all(d.label in valid_labels for d in diagnosed.diagnoses.values())
+
+        from repro.analysis.reporting import render_report
+
+        text = render_report(diagnosed)
+        assert "SPECTRAL DIAGNOSIS" in text
+
+
+class TestEngineConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            EngineConfig(rotation_hz=0.0)
+        with pytest.raises(ValueError):
+            EngineConfig(diagnosis_window=0)

@@ -1,0 +1,76 @@
+"""Tests for classification metrics (metrics.py)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import ClassificationReport, confusion_matrix, evaluate_labels
+from repro.core.classify import ZONE_A, ZONE_BC, ZONE_D
+
+
+class TestConfusionMatrix:
+    def test_perfect_prediction_is_diagonal(self):
+        truth = np.asarray([ZONE_A, ZONE_BC, ZONE_D, ZONE_A], dtype=object)
+        matrix = confusion_matrix(truth, truth)
+        assert matrix.trace() == 4
+        assert matrix.sum() == 4
+
+    def test_off_diagonal_placement(self):
+        truth = np.asarray([ZONE_D], dtype=object)
+        pred = np.asarray([ZONE_BC], dtype=object)
+        matrix = confusion_matrix(truth, pred)
+        assert matrix[2, 1] == 1  # truth D predicted BC
+
+    def test_rejects_unknown_labels(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.asarray(["Z"]), np.asarray([ZONE_A]))
+        with pytest.raises(ValueError):
+            confusion_matrix(np.asarray([ZONE_A]), np.asarray(["Z"]))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.asarray([ZONE_A]), np.asarray([ZONE_A, ZONE_D]))
+
+
+class TestEvaluateLabels:
+    def test_perfect_scores(self):
+        truth = np.asarray([ZONE_A, ZONE_BC, ZONE_D] * 5, dtype=object)
+        report = evaluate_labels(truth, truth)
+        assert report.accuracy == 1.0
+        assert np.allclose(report.precision, 1.0)
+        assert np.allclose(report.recall, 1.0)
+
+    def test_known_mixed_case(self):
+        truth = np.asarray([ZONE_A, ZONE_A, ZONE_BC, ZONE_BC, ZONE_D, ZONE_D], dtype=object)
+        pred = np.asarray([ZONE_A, ZONE_BC, ZONE_BC, ZONE_BC, ZONE_D, ZONE_BC], dtype=object)
+        report = evaluate_labels(truth, pred)
+        assert report.accuracy == pytest.approx(4 / 6)
+        precision_a, recall_a = report.per_class(ZONE_A)
+        assert precision_a == pytest.approx(1.0)
+        assert recall_a == pytest.approx(0.5)
+        precision_bc, recall_bc = report.per_class(ZONE_BC)
+        assert precision_bc == pytest.approx(2 / 4)
+        assert recall_bc == pytest.approx(1.0)
+
+    def test_absent_predicted_class_gives_zero_precision(self):
+        truth = np.asarray([ZONE_D, ZONE_D], dtype=object)
+        pred = np.asarray([ZONE_BC, ZONE_BC], dtype=object)
+        report = evaluate_labels(truth, pred)
+        precision_d, recall_d = report.per_class(ZONE_D)
+        assert precision_d == 0.0
+        assert recall_d == 0.0
+
+    def test_macro_averages(self):
+        truth = np.asarray([ZONE_A, ZONE_BC, ZONE_D], dtype=object)
+        report = evaluate_labels(truth, truth)
+        assert report.macro_precision == 1.0
+        assert report.macro_recall == 1.0
+
+    def test_matrix_row_column_sums(self):
+        gen = np.random.default_rng(0)
+        classes = np.asarray([ZONE_A, ZONE_BC, ZONE_D], dtype=object)
+        truth = classes[gen.integers(0, 3, size=100)]
+        pred = classes[gen.integers(0, 3, size=100)]
+        report = evaluate_labels(truth, pred)
+        assert report.matrix.sum() == 100
+        for i, cls in enumerate(report.classes):
+            assert report.matrix[i].sum() == (truth == cls).sum()

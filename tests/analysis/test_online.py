@@ -1,0 +1,140 @@
+"""Tests for online per-pump tracking (online.py)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.online import OnlinePumpTracker
+from repro.core.classify import ZONE_A, ZONE_D, PeakHarmonicFeature
+from repro.core.features import psd_feature, psd_frequencies
+from repro.simulation.signal import VibrationSynthesizer
+
+FS = 4000.0
+K = 1024
+FREQS = psd_frequencies(K, FS)
+
+
+@pytest.fixture(scope="module")
+def fitted_feature():
+    gen = np.random.default_rng(0)
+    synth = VibrationSynthesizer()
+    ref = np.stack(
+        [psd_feature(synth.synthesize(0.05, K, FS, gen)) for _ in range(10)]
+    )
+    return PeakHarmonicFeature().fit(ref, FREQS)
+
+
+def make_tracker(fitted_feature, thresholds=(0.18, 0.33), debounce=3, window=4):
+    return OnlinePumpTracker(
+        feature=fitted_feature,
+        zone_thresholds=np.asarray(thresholds),
+        measurement_interval_days=0.5,
+        smoothing_window=window,
+        debounce=debounce,
+    )
+
+
+def psd_at_wear(wear, seed):
+    gen = np.random.default_rng(seed)
+    synth = VibrationSynthesizer()
+    return psd_feature(synth.synthesize(wear, K, FS, gen))
+
+
+class TestConstruction:
+    def test_requires_fitted_feature(self):
+        with pytest.raises(ValueError, match="fitted"):
+            OnlinePumpTracker(
+                PeakHarmonicFeature(), np.asarray([0.2, 0.3]), 1.0
+            )
+
+    def test_rejects_bad_parameters(self, fitted_feature):
+        with pytest.raises(ValueError):
+            OnlinePumpTracker(fitted_feature, np.asarray([0.2]), 1.0)
+        with pytest.raises(ValueError):
+            OnlinePumpTracker(fitted_feature, np.asarray([0.3, 0.2]), 1.0)
+        with pytest.raises(ValueError):
+            make_tracker(fitted_feature, debounce=0)
+        with pytest.raises(ValueError):
+            make_tracker(fitted_feature, window=0)
+        with pytest.raises(ValueError):
+            OnlinePumpTracker(fitted_feature, np.asarray([0.2, 0.3]), 0.0)
+
+
+class TestStreaming:
+    def test_healthy_stream_stays_zone_a_without_alert(self, fitted_feature):
+        tracker = make_tracker(fitted_feature)
+        updates = [
+            tracker.consume(psd_at_wear(0.05, seed=i), FREQS) for i in range(10)
+        ]
+        assert all(u.zone == ZONE_A for u in updates[2:])
+        assert not any(u.alert for u in updates)
+
+    def test_degrading_stream_reaches_zone_d_and_alerts(self, fitted_feature):
+        tracker = make_tracker(fitted_feature)
+        wears = np.linspace(0.05, 1.1, 40)
+        updates = [
+            tracker.consume(psd_at_wear(w, seed=100 + i), FREQS)
+            for i, w in enumerate(wears)
+        ]
+        assert updates[-1].zone == ZONE_D
+        assert updates[-1].alert
+
+    def test_da_trend_increases_with_wear(self, fitted_feature):
+        tracker = make_tracker(fitted_feature)
+        early = [tracker.consume(psd_at_wear(0.05, seed=i), FREQS) for i in range(5)]
+        late = [tracker.consume(psd_at_wear(1.0, seed=50 + i), FREQS) for i in range(5)]
+        assert late[-1].da > early[-1].da
+
+    def test_single_spike_does_not_alert(self, fitted_feature):
+        """Hysteresis: one bad measurement must not page the crew."""
+        tracker = make_tracker(fitted_feature, debounce=3, window=1)
+        for i in range(5):
+            tracker.consume(psd_at_wear(0.05, seed=i), FREQS)
+        spike = tracker.consume(psd_at_wear(1.2, seed=99), FREQS)
+        assert not spike.alert
+        after = tracker.consume(psd_at_wear(0.05, seed=7), FREQS)
+        assert not after.alert
+
+    def test_alert_clears_after_sustained_recovery(self, fitted_feature):
+        tracker = make_tracker(fitted_feature, debounce=2, window=1)
+        for i in range(4):
+            tracker.consume(psd_at_wear(1.2, seed=i), FREQS)
+        assert tracker.alert_active
+        # Replacement: healthy measurements stream in.
+        updates = [
+            tracker.consume(psd_at_wear(0.05, seed=200 + i), FREQS) for i in range(4)
+        ]
+        assert not updates[-1].alert
+
+    def test_rul_forecast_behaviour(self, fitted_feature):
+        tracker = make_tracker(fitted_feature)
+        # Degrading pump: finite RUL prediction appears once trend is set.
+        wears = np.linspace(0.1, 0.7, 25)
+        last = None
+        for i, w in enumerate(wears):
+            last = tracker.consume(psd_at_wear(w, seed=300 + i), FREQS)
+        assert np.isfinite(last.rul_days) or last.rul_days == np.inf
+        # Over-threshold pump reports zero remaining life.
+        for i in range(8):
+            last = tracker.consume(psd_at_wear(1.2, seed=400 + i), FREQS)
+        assert last.rul_days == 0.0
+
+    def test_measurement_counter(self, fitted_feature):
+        tracker = make_tracker(fitted_feature)
+        for i in range(3):
+            tracker.consume(psd_at_wear(0.1, seed=i), FREQS)
+        assert tracker.n_measurements == 3
+
+
+class TestBatchConsistency:
+    def test_online_zone_matches_batch_thresholding(self, fitted_feature):
+        """With window 1, streaming classification equals batch digitize."""
+        thresholds = np.asarray([0.18, 0.33])
+        tracker = make_tracker(fitted_feature, thresholds=tuple(thresholds), window=1)
+        from repro.core.classify import ZONES
+
+        for i, wear in enumerate((0.05, 0.5, 1.1)):
+            psd = psd_at_wear(wear, seed=500 + i)
+            update = tracker.consume(psd, FREQS)
+            da = fitted_feature.score(psd, FREQS)
+            expected = ZONES[int(np.searchsorted(thresholds, da))]
+            assert update.zone == expected

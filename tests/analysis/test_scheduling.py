@@ -1,0 +1,118 @@
+"""Tests for maintenance schedule optimization (scheduling.py)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scheduling import MaintenancePlan, MaintenanceScheduler
+from repro.core.rul import RULPrediction
+
+
+def prediction(rul_days: float) -> RULPrediction:
+    return RULPrediction(
+        model_index=0,
+        slope=0.001,
+        intercept=0.05,
+        current_service_days=100.0,
+        crossing_service_days=100.0 + rul_days,
+        rul_days=rul_days,
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MaintenanceScheduler(period_days=0)
+        with pytest.raises(ValueError):
+            MaintenanceScheduler(capacity_per_period=0)
+        with pytest.raises(ValueError):
+            MaintenanceScheduler(safety_margin_days=-1)
+
+    def test_rejects_bad_horizon(self):
+        scheduler = MaintenanceScheduler()
+        with pytest.raises(ValueError):
+            scheduler.plan({0: prediction(10.0)}, horizon_periods=0)
+
+
+class TestPlanning:
+    def test_overdue_pump_scheduled_immediately(self):
+        scheduler = MaintenanceScheduler(period_days=7.0, safety_margin_days=14.0)
+        plan = scheduler.plan({0: prediction(-5.0)})
+        assert plan.period_of(0) == 0
+
+    def test_pump_scheduled_margin_before_failure(self):
+        scheduler = MaintenanceScheduler(period_days=7.0, safety_margin_days=14.0)
+        plan = scheduler.plan({0: prediction(50.0)})
+        # 50 - 14 = 36 days of slack -> period 5 (days 35..42).
+        assert plan.period_of(0) == 5
+
+    def test_far_future_pumps_not_scheduled(self):
+        scheduler = MaintenanceScheduler(period_days=7.0)
+        plan = scheduler.plan({0: prediction(500.0)}, horizon_periods=10)
+        assert plan.period_of(0) is None
+        assert plan.replacements == []
+
+    def test_infinite_rul_not_scheduled(self):
+        scheduler = MaintenanceScheduler()
+        plan = scheduler.plan({0: prediction(np.inf)})
+        assert plan.replacements == []
+
+    def test_capacity_pulls_collisions_earlier_never_later(self):
+        scheduler = MaintenanceScheduler(
+            period_days=7.0, capacity_per_period=1, safety_margin_days=0.0
+        )
+        # Three pumps all targeting period 2 (RUL 15..20 days).
+        plan = scheduler.plan(
+            {0: prediction(15.0), 1: prediction(17.0), 2: prediction(20.0)}
+        )
+        periods = {pump: plan.period_of(pump) for pump in (0, 1, 2)}
+        # Most urgent keeps the latest admissible slot it can; others are
+        # pulled to earlier periods; nobody is scheduled after its target.
+        assert sorted(periods.values()) == [0, 1, 2]
+        assert periods[0] <= 2 and periods[1] <= 2 and periods[2] <= 2
+        # No period over capacity.
+        for period, items in plan.by_period().items():
+            assert len(items) <= 1
+
+    def test_overload_lands_in_period_zero(self):
+        scheduler = MaintenanceScheduler(
+            period_days=7.0, capacity_per_period=1, safety_margin_days=0.0
+        )
+        plan = scheduler.plan({i: prediction(3.0) for i in range(4)})
+        by_period = plan.by_period()
+        # All four are urgent; capacity is 1 -> period 0 overflows by design.
+        assert len(by_period[0]) >= 2
+        assert len(plan.replacements) == 4
+
+    def test_wasted_days_accounting(self):
+        scheduler = MaintenanceScheduler(period_days=7.0, safety_margin_days=14.0)
+        plan = scheduler.plan({0: prediction(50.0)})
+        [item] = plan.replacements
+        # Replaced at period 5 = day 35, failure predicted at day 50.
+        assert item.expected_wasted_days == pytest.approx(15.0)
+        assert plan.expected_wasted_usd == pytest.approx(1500.0)
+
+    def test_plan_is_deterministic_and_sorted(self):
+        scheduler = MaintenanceScheduler(capacity_per_period=2)
+        predictions = {i: prediction(10.0 * (i + 1)) for i in range(6)}
+        plan_a = scheduler.plan(predictions)
+        plan_b = scheduler.plan(predictions)
+        assert [s.pump_id for s in plan_a.replacements] == [
+            s.pump_id for s in plan_b.replacements
+        ]
+        periods = [s.period for s in plan_a.replacements]
+        assert periods == sorted(periods)
+
+
+class TestMaintenancePlan:
+    def test_by_period_groups(self):
+        scheduler = MaintenanceScheduler(capacity_per_period=3, safety_margin_days=0.0)
+        plan = scheduler.plan({0: prediction(2.0), 1: prediction(3.0)})
+        assert set(plan.by_period()) == {0}
+        assert len(plan.by_period()[0]) == 2
+
+    def test_period_of_missing_pump(self):
+        plan = MaintenancePlan(
+            replacements=[], period_days=7.0,
+            expected_wasted_days=0.0, expected_wasted_usd=0.0,
+        )
+        assert plan.period_of(99) is None

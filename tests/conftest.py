@@ -1,0 +1,53 @@
+"""Shared fixtures: small fleets and synthetic measurement factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation import FleetConfig, FleetSimulator
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_sine_block(
+    freq_hz: float = 120.0,
+    amplitude: float = 0.5,
+    num_samples: int = 1024,
+    sampling_rate_hz: float = 4000.0,
+    offset: tuple[float, float, float] = (0.0, 0.0, 1.0),
+    noise: float = 0.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """A clean tri-axial sinusoid measurement block for feature tests."""
+    gen = np.random.default_rng(seed)
+    t = np.arange(num_samples) / sampling_rate_hz
+    mono = amplitude * np.sin(2 * np.pi * freq_hz * t)
+    block = np.stack([mono, 0.7 * mono, 0.4 * mono], axis=1)
+    block += np.asarray(offset)[None, :]
+    if noise > 0:
+        block += gen.normal(0.0, noise, size=block.shape)
+    return block
+
+
+@pytest.fixture(scope="session")
+def small_fleet():
+    """A compact mixed fleet spanning all three zones."""
+    config = FleetConfig(
+        num_pumps=8,
+        duration_days=80,
+        report_interval_days=2.0,
+        pm_interval_days=None,
+        max_initial_age_fraction=0.9,
+        seed=11,
+    )
+    return FleetSimulator(config).run()
+
+
+@pytest.fixture(scope="session")
+def small_fleet_arrays(small_fleet):
+    pumps, service, samples = small_fleet.measurement_arrays()
+    return pumps, service, samples

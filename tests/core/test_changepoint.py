@@ -1,0 +1,152 @@
+"""Tests for changepoint detection (changepoint.py)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.changepoint import (
+    Changepoint,
+    detect_changepoints,
+    detect_replacements,
+)
+
+
+def step_series(n=100, split=60, before=0.4, after=0.05, noise=0.01, seed=0):
+    gen = np.random.default_rng(seed)
+    series = np.concatenate([np.full(split, before), np.full(n - split, after)])
+    return series + gen.normal(0, noise, size=n)
+
+
+class TestDetectChangepoints:
+    def test_single_step_found_at_right_place(self):
+        series = step_series()
+        changes = detect_changepoints(series)
+        assert len(changes) == 1
+        assert abs(changes[0].index - 60) <= 2
+        assert changes[0].mean_before == pytest.approx(0.4, abs=0.02)
+        assert changes[0].mean_after == pytest.approx(0.05, abs=0.02)
+        assert changes[0].step == pytest.approx(-0.35, abs=0.03)
+
+    def test_pure_noise_yields_no_changepoints(self):
+        gen = np.random.default_rng(1)
+        series = 0.2 + gen.normal(0, 0.02, size=200)
+        assert detect_changepoints(series) == []
+
+    def test_two_steps_both_found(self):
+        gen = np.random.default_rng(2)
+        series = np.concatenate(
+            [np.full(50, 0.1), np.full(50, 0.4), np.full(50, 0.05)]
+        ) + gen.normal(0, 0.01, size=150)
+        changes = detect_changepoints(series)
+        assert len(changes) == 2
+        indices = sorted(c.index for c in changes)
+        assert abs(indices[0] - 50) <= 3
+        assert abs(indices[1] - 100) <= 3
+
+    def test_gradual_trend_approximated_by_small_upward_steps(self):
+        """Binary segmentation staircases a ramp — every step is small
+        and upward, so no spurious *replacement* is ever called."""
+        gen = np.random.default_rng(3)
+        series = np.linspace(0.1, 0.4, 200) + gen.normal(0, 0.01, size=200)
+        changes = detect_changepoints(series)
+        assert all(c.step > 0 for c in changes)
+        assert all(c.step < 0.08 for c in changes)
+        assert detect_replacements(series, min_drop=0.1) == []
+
+    def test_single_outlier_creates_no_large_regime_shift(self):
+        gen = np.random.default_rng(4)
+        series = 0.2 + gen.normal(0, 0.01, size=100)
+        series[50] = 2.0  # single spike, not a regime change
+        changes = detect_changepoints(series, min_segment=5)
+        # A boundary may land next to the spike, but the implied level
+        # shift stays tiny — nothing a min_drop filter would act on.
+        assert all(abs(c.step) < 0.06 for c in changes)
+        assert detect_replacements(series, min_drop=0.1, min_segment=5) == []
+
+    def test_short_series_returns_empty(self):
+        assert detect_changepoints(np.ones(6), min_segment=5) == []
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            detect_changepoints(np.asarray([1.0, np.nan, 2.0]))
+        with pytest.raises(ValueError):
+            detect_changepoints(np.ones(20), min_segment=1)
+        with pytest.raises(ValueError):
+            detect_changepoints(np.ones(20), penalty_scale=0)
+
+    def test_constant_series_no_changes(self):
+        assert detect_changepoints(np.full(50, 0.3)) == []
+
+    @given(
+        st.integers(10, 60),
+        st.floats(0.2, 1.0),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_planted_step_recovered(self, split, step_size, seed):
+        """Any sufficiently large planted step is found near its index."""
+        n = 120
+        series = step_series(
+            n=n, split=split, before=step_size, after=0.0, noise=0.01, seed=seed
+        )
+        changes = detect_changepoints(series)
+        assert changes, "step missed entirely"
+        nearest = min(changes, key=lambda c: abs(c.index - split))
+        assert abs(nearest.index - split) <= 3
+
+
+class TestDetectReplacements:
+    def test_replacement_drop_detected(self):
+        series = step_series(before=0.4, after=0.05)
+        replacements = detect_replacements(series, min_drop=0.1)
+        assert len(replacements) == 1
+        assert abs(replacements[0] - 60) <= 2
+
+    def test_upward_step_is_not_a_replacement(self):
+        series = step_series(before=0.05, after=0.4)  # degradation jump
+        assert detect_replacements(series, min_drop=0.1) == []
+
+    def test_small_drop_below_threshold_ignored(self):
+        series = step_series(before=0.2, after=0.15, noise=0.005)
+        assert detect_replacements(series, min_drop=0.1) == []
+
+    def test_rejects_bad_min_drop(self):
+        with pytest.raises(ValueError):
+            detect_replacements(np.ones(30), min_drop=0.0)
+
+    def test_on_simulated_pump_with_replacement(self):
+        """End-to-end: a simulated pump's D_a drop at replacement is
+        recovered from the feature series alone."""
+        from repro.core.classify import PeakHarmonicFeature
+        from repro.core.features import psd_feature, psd_frequencies
+        from repro.simulation.mems import MEMSSensor
+        from repro.simulation.signal import VibrationSynthesizer
+
+        gen = np.random.default_rng(5)
+        synth = VibrationSynthesizer()
+        sensor = MEMSSensor(rng=np.random.default_rng(6))
+        freqs = psd_frequencies(1024, 4000.0)
+
+        ref = np.stack(
+            [psd_feature(sensor.measure_g(synth.synthesize(0.05, 1024, 4000.0, gen), 0.0, 4000.0))
+             for _ in range(8)]
+        )
+        feature = PeakHarmonicFeature().fit(ref, freqs)
+
+        # 30 worn measurements, replacement, 30 healthy measurements.
+        wears = np.concatenate([np.linspace(0.7, 1.0, 30), np.linspace(0.0, 0.15, 30)])
+        da = np.asarray(
+            [
+                feature.score(
+                    psd_feature(
+                        sensor.measure_g(synth.synthesize(w, 1024, 4000.0, gen), i, 4000.0)
+                    ),
+                    freqs,
+                )
+                for i, w in enumerate(wears)
+            ]
+        )
+        replacements = detect_replacements(da, min_drop=0.15)
+        assert len(replacements) >= 1
+        assert any(abs(r - 30) <= 4 for r in replacements)

@@ -1,0 +1,168 @@
+"""Tests for zone classification (classify.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import (
+    ZONE_A,
+    ZONE_BC,
+    ZONE_D,
+    ZONES,
+    EuclideanFeature,
+    MahalanobisFeature,
+    OrderedThresholdClassifier,
+    PeakHarmonicFeature,
+    ZoneClassifier,
+)
+from repro.core.features import psd_feature, psd_frequencies
+from repro.simulation.signal import VibrationSynthesizer
+
+FS = 4000.0
+K = 1024
+
+
+def zone_psds(wear: float, n: int, seed: int) -> np.ndarray:
+    """PSDs of synthetic measurements at a given wear level."""
+    gen = np.random.default_rng(seed)
+    synth = VibrationSynthesizer()
+    blocks = [synth.synthesize(wear, K, FS, gen) for _ in range(n)]
+    return np.stack([psd_feature(b) for b in blocks])
+
+
+@pytest.fixture(scope="module")
+def labelled_psds():
+    psds = np.vstack(
+        [zone_psds(0.05, 12, seed=1), zone_psds(0.55, 12, seed=2), zone_psds(1.0, 12, seed=3)]
+    )
+    labels = np.asarray([ZONE_A] * 12 + [ZONE_BC] * 12 + [ZONE_D] * 12, dtype=object)
+    freqs = psd_frequencies(K, FS)
+    return psds, labels, freqs
+
+
+class TestOrderedThresholdClassifier:
+    def test_learns_ordered_boundaries(self):
+        values = np.asarray([0.1, 0.2, 0.5, 0.6, 0.9, 1.0])
+        labels = np.asarray([ZONE_A, ZONE_A, ZONE_BC, ZONE_BC, ZONE_D, ZONE_D])
+        clf = OrderedThresholdClassifier().fit(values, labels)
+        assert clf.thresholds_ is not None
+        assert clf.thresholds_[0] < clf.thresholds_[1]
+
+    def test_predicts_training_data_when_separable(self):
+        values = np.asarray([0.1, 0.2, 0.5, 0.6, 0.9, 1.0])
+        labels = np.asarray([ZONE_A, ZONE_A, ZONE_BC, ZONE_BC, ZONE_D, ZONE_D])
+        clf = OrderedThresholdClassifier().fit(values, labels)
+        assert (clf.predict(values) == labels).all()
+
+    def test_extreme_values_get_extreme_classes(self):
+        values = np.asarray([0.1, 0.5, 0.9])
+        labels = np.asarray([ZONE_A, ZONE_BC, ZONE_D])
+        clf = OrderedThresholdClassifier().fit(values, labels)
+        assert clf.predict(np.asarray([-10.0]))[0] == ZONE_A
+        assert clf.predict(np.asarray([10.0]))[0] == ZONE_D
+
+    def test_missing_class_raises(self):
+        clf = OrderedThresholdClassifier()
+        with pytest.raises(ValueError, match="no training samples"):
+            clf.fit(np.asarray([0.1, 0.9]), np.asarray([ZONE_A, ZONE_D]))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            OrderedThresholdClassifier().predict(np.asarray([0.5]))
+
+    def test_rejects_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            OrderedThresholdClassifier().fit(np.ones(3), np.asarray([ZONE_A] * 2))
+
+    def test_rejects_degenerate_class_config(self):
+        with pytest.raises(ValueError):
+            OrderedThresholdClassifier(classes=("A",))
+        with pytest.raises(ValueError):
+            OrderedThresholdClassifier(classes=("A", "A"))
+
+    def test_two_class_configuration(self):
+        clf = OrderedThresholdClassifier(classes=(ZONE_BC, ZONE_D))
+        clf.fit(np.asarray([0.1, 0.2, 0.8, 0.9]), np.asarray([ZONE_BC, ZONE_BC, ZONE_D, ZONE_D]))
+        assert clf.predict(np.asarray([0.15]))[0] == ZONE_BC
+        assert clf.predict(np.asarray([0.85]))[0] == ZONE_D
+
+
+class TestPeakHarmonicFeature:
+    def test_da_grows_with_degradation(self, labelled_psds):
+        psds, labels, freqs = labelled_psds
+        feature = PeakHarmonicFeature().fit(psds[labels == ZONE_A], freqs)
+        mean_da = {
+            zone: feature.score_many(psds[labels == zone], freqs).mean()
+            for zone in ZONES
+        }
+        assert mean_da[ZONE_A] < mean_da[ZONE_BC] < mean_da[ZONE_D]
+
+    def test_score_of_baseline_mean_is_small(self, labelled_psds):
+        psds, labels, freqs = labelled_psds
+        ref = psds[labels == ZONE_A]
+        feature = PeakHarmonicFeature().fit(ref, freqs)
+        assert feature.score(ref.mean(axis=0), freqs) < 0.05
+
+    def test_unfitted_score_raises(self):
+        with pytest.raises(RuntimeError):
+            PeakHarmonicFeature().score(np.ones(8), np.arange(8.0))
+
+    def test_empty_reference_raises(self):
+        with pytest.raises(ValueError):
+            PeakHarmonicFeature().fit(np.empty((0, 8)), np.arange(8.0))
+
+
+class TestBaselineFeatures:
+    def test_euclidean_zero_at_reference_mean(self, labelled_psds):
+        psds, labels, freqs = labelled_psds
+        ref = psds[labels == ZONE_A]
+        feature = EuclideanFeature().fit(ref, freqs)
+        assert feature.score(ref.mean(axis=0), freqs) == pytest.approx(0.0)
+
+    def test_mahalanobis_orders_zones_on_average(self, labelled_psds):
+        psds, labels, freqs = labelled_psds
+        feature = MahalanobisFeature().fit(psds[labels == ZONE_A], freqs)
+        d_a = feature.score_many(psds[labels == ZONE_A], freqs).mean()
+        d_d = feature.score_many(psds[labels == ZONE_D], freqs).mean()
+        assert d_d > d_a
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            EuclideanFeature().score(np.ones(4), np.arange(4.0))
+        with pytest.raises(RuntimeError):
+            MahalanobisFeature().score(np.ones(4), np.arange(4.0))
+
+
+class TestZoneClassifier:
+    def test_end_to_end_classification_beats_chance(self, labelled_psds):
+        psds, labels, freqs = labelled_psds
+        train_idx = np.r_[0:6, 12:18, 24:30]
+        test_idx = np.setdiff1d(np.arange(len(labels)), train_idx)
+        clf = ZoneClassifier().fit(psds[train_idx], labels[train_idx], freqs)
+        pred = clf.predict(psds[test_idx], freqs)
+        accuracy = (pred == labels[test_idx]).mean()
+        assert accuracy > 0.7
+
+    def test_decision_scores_are_da_values(self, labelled_psds):
+        psds, labels, freqs = labelled_psds
+        clf = ZoneClassifier().fit(psds, labels, freqs)
+        scores = clf.decision_scores(psds[:3], freqs)
+        assert scores.shape == (3,)
+        assert (scores >= 0).all()
+
+    def test_thresholds_exposed_after_fit(self, labelled_psds):
+        psds, labels, freqs = labelled_psds
+        clf = ZoneClassifier().fit(psds, labels, freqs)
+        assert clf.thresholds_ is not None
+        assert len(clf.thresholds_) == 2
+
+    def test_requires_reference_class_samples(self, labelled_psds):
+        psds, labels, freqs = labelled_psds
+        mask = labels != ZONE_A
+        with pytest.raises(ValueError, match="baseline"):
+            ZoneClassifier().fit(psds[mask], labels[mask], freqs)
+
+    def test_works_with_alternate_feature(self, labelled_psds):
+        psds, labels, freqs = labelled_psds
+        clf = ZoneClassifier(feature=EuclideanFeature()).fit(psds, labels, freqs)
+        pred = clf.predict(psds, freqs)
+        assert set(pred) <= set(ZONES)

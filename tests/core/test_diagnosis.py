@@ -1,0 +1,134 @@
+"""Tests for rule-based spectral fault diagnosis (diagnosis.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnosis import (
+    BEARING_DEFECT,
+    HEALTHY,
+    IMBALANCE,
+    LOOSENESS,
+    MISALIGNMENT,
+    SpectralDiagnoser,
+)
+from repro.core.features import psd_feature, psd_frequencies
+from repro.core.peaks import extract_harmonic_peaks
+from repro.simulation.faults import FaultInjector, FaultSpec, FaultType
+
+FS = 4000.0
+K = 1024
+
+
+@pytest.fixture(scope="module")
+def setup():
+    injector = FaultInjector()
+    freqs = psd_frequencies(K, FS)
+    rng = np.random.default_rng(0)
+
+    def peaks_for(fault, seed):
+        gen = np.random.default_rng(seed)
+        psd = np.mean(
+            [
+                psd_feature(injector.synthesize(fault, K, FS, gen))
+                for _ in range(5)
+            ],
+            axis=0,
+        )
+        return extract_harmonic_peaks(psd, freqs)
+
+    healthy_peaks = peaks_for(FaultSpec(FaultType.NONE), seed=1)
+    diagnoser = SpectralDiagnoser(injector.profile.rotation_hz)
+    diagnoser.fit_baseline(healthy_peaks)
+    return injector, diagnoser, peaks_for
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SpectralDiagnoser(rotation_hz=0)
+        with pytest.raises(ValueError):
+            SpectralDiagnoser(30.0, harmonic_tolerance=0.6)
+        with pytest.raises(ValueError):
+            SpectralDiagnoser(30.0, healthy_margin=0)
+
+    def test_diagnose_requires_baseline(self):
+        diagnoser = SpectralDiagnoser(30.0)
+        from repro.core.peaks import HarmonicPeaks
+
+        with pytest.raises(RuntimeError):
+            diagnoser.diagnose(HarmonicPeaks(np.asarray([30.0]), np.asarray([1.0])))
+
+
+class TestDiagnosis:
+    def test_healthy_machine_diagnosed_healthy(self, setup):
+        _, diagnoser, peaks_for = setup
+        diagnosis = diagnoser.diagnose(peaks_for(FaultSpec(FaultType.NONE), seed=2))
+        assert diagnosis.label == HEALTHY
+
+    def test_imbalance_detected(self, setup):
+        _, diagnoser, peaks_for = setup
+        diagnosis = diagnoser.diagnose(
+            peaks_for(FaultSpec(FaultType.IMBALANCE, 0.9), seed=3)
+        )
+        assert diagnosis.label == IMBALANCE
+
+    def test_misalignment_detected(self, setup):
+        _, diagnoser, peaks_for = setup
+        diagnosis = diagnoser.diagnose(
+            peaks_for(FaultSpec(FaultType.MISALIGNMENT, 0.9), seed=4)
+        )
+        assert diagnosis.label == MISALIGNMENT
+
+    def test_looseness_detected(self, setup):
+        _, diagnoser, peaks_for = setup
+        diagnosis = diagnoser.diagnose(
+            peaks_for(FaultSpec(FaultType.LOOSENESS, 0.9), seed=5)
+        )
+        assert diagnosis.label == LOOSENESS
+
+    def test_bearing_defect_detected(self, setup):
+        _, diagnoser, peaks_for = setup
+        diagnosis = diagnoser.diagnose(
+            peaks_for(FaultSpec(FaultType.BEARING_DEFECT, 0.9), seed=6)
+        )
+        assert diagnosis.label == BEARING_DEFECT
+
+    def test_scores_exposed_for_explainability(self, setup):
+        _, diagnoser, peaks_for = setup
+        diagnosis = diagnoser.diagnose(
+            peaks_for(FaultSpec(FaultType.IMBALANCE, 0.9), seed=7)
+        )
+        assert set(diagnosis.scores) == {
+            IMBALANCE,
+            MISALIGNMENT,
+            LOOSENESS,
+            BEARING_DEFECT,
+        }
+        assert diagnosis.scores[IMBALANCE] == max(diagnosis.scores.values())
+
+    def test_empty_peaks_are_healthy(self, setup):
+        _, diagnoser, _ = setup
+        from repro.core.peaks import HarmonicPeaks
+
+        diagnosis = diagnoser.diagnose(HarmonicPeaks(np.empty(0), np.empty(0)))
+        assert diagnosis.label == HEALTHY
+
+    def test_accuracy_over_random_fault_mix(self, setup):
+        """End-to-end diagnostic accuracy over all classes."""
+        _, diagnoser, peaks_for = setup
+        cases = [
+            (FaultType.NONE, HEALTHY),
+            (FaultType.IMBALANCE, IMBALANCE),
+            (FaultType.MISALIGNMENT, MISALIGNMENT),
+            (FaultType.LOOSENESS, LOOSENESS),
+            (FaultType.BEARING_DEFECT, BEARING_DEFECT),
+        ]
+        correct = 0
+        total = 0
+        for seed in range(3):
+            for fault_type, expected in cases:
+                peaks = peaks_for(FaultSpec(fault_type, 0.9), seed=100 + seed * 10 + total)
+                diagnosis = diagnoser.diagnose(peaks)
+                correct += diagnosis.label == expected
+                total += 1
+        assert correct / total >= 0.8

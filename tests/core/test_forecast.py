@@ -1,0 +1,156 @@
+"""Tests for degradation-trajectory forecasting (forecast.py)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.forecast import (
+    ARForecaster,
+    HoltLinearForecaster,
+    crossing_forecast,
+)
+
+
+def linear_series(slope=0.01, intercept=0.1, n=100, noise=0.0, seed=0):
+    gen = np.random.default_rng(seed)
+    return intercept + slope * np.arange(n) + gen.normal(0, noise, size=n)
+
+
+class TestHoltLinear:
+    def test_tracks_noiseless_linear_trend(self):
+        series = linear_series(slope=0.01, n=200)
+        forecaster = HoltLinearForecaster(alpha=0.5, beta=0.3, damping=1.0).fit(series)
+        forecast = forecaster.forecast(10)
+        expected = series[-1] + 0.01 * np.arange(1, 11)
+        assert np.allclose(forecast, expected, atol=1e-3)
+
+    def test_smooths_noisy_trend(self):
+        series = linear_series(slope=0.01, n=300, noise=0.05, seed=1)
+        forecaster = HoltLinearForecaster().fit(series)
+        forecast = forecaster.forecast(50)
+        # Forecast continues upward, near the true line.
+        true_future = 0.1 + 0.01 * (300 + 49)
+        assert forecast[-1] == pytest.approx(true_future, rel=0.25)
+        assert forecast[-1] > forecast[0]
+
+    def test_damping_flattens_long_horizon(self):
+        series = linear_series(slope=0.01, n=100)
+        damped = HoltLinearForecaster(damping=0.9).fit(series).forecast(500)
+        undamped = HoltLinearForecaster(damping=1.0).fit(series).forecast(500)
+        assert damped[-1] < undamped[-1]
+        # Damped forecast converges to a finite asymptote.
+        assert abs(damped[-1] - damped[-2]) < 1e-3
+
+    def test_online_update_equivalent_to_fit(self):
+        series = linear_series(n=50, noise=0.01, seed=2)
+        fitted = HoltLinearForecaster().fit(series)
+        online = HoltLinearForecaster()
+        online.level_ = float(series[0])
+        online.trend_ = float(series[1] - series[0])
+        for y in series[1:]:
+            online.update(float(y))
+        assert online.level_ == pytest.approx(fitted.level_)
+        assert online.trend_ == pytest.approx(fitted.trend_)
+
+    def test_update_from_cold_start(self):
+        forecaster = HoltLinearForecaster()
+        forecaster.update(1.0)
+        forecaster.update(1.1)
+        assert np.isfinite(forecaster.forecast(5)).all()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HoltLinearForecaster(alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltLinearForecaster(beta=1.5)
+        with pytest.raises(ValueError):
+            HoltLinearForecaster(damping=0.0)
+
+    def test_rejects_bad_series(self):
+        with pytest.raises(ValueError):
+            HoltLinearForecaster().fit([1.0])
+        with pytest.raises(ValueError):
+            HoltLinearForecaster().fit([1.0, np.nan])
+
+    def test_unfitted_forecast_raises(self):
+        with pytest.raises(RuntimeError):
+            HoltLinearForecaster().forecast(5)
+
+    @given(
+        st.floats(-0.01, 0.01),
+        st.floats(0.0, 1.0),
+        st.integers(10, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_forecast_is_finite_for_linear_inputs(self, slope, intercept, n):
+        series = intercept + slope * np.arange(n)
+        forecaster = HoltLinearForecaster().fit(series)
+        assert np.isfinite(forecaster.forecast(100)).all()
+
+
+class TestARForecaster:
+    def test_constant_increments_extrapolate(self):
+        series = linear_series(slope=0.02, n=60)
+        forecast = ARForecaster(order=2).fit(series).forecast(10)
+        expected = series[-1] + 0.02 * np.arange(1, 11)
+        assert np.allclose(forecast, expected, atol=1e-6)
+
+    def test_noisy_trend_direction(self):
+        series = linear_series(slope=0.01, n=200, noise=0.03, seed=3)
+        forecast = ARForecaster(order=3).fit(series).forecast(30)
+        assert forecast[-1] > series[-1]
+
+    def test_oscillating_increments_learned(self):
+        # Increments alternate +1/-1: an AR(1) on differences captures it.
+        series = np.cumsum(np.resize([1.0, -1.0], 60))
+        forecast = ARForecaster(order=1, ridge=1e-9).fit(series).forecast(4)
+        diffs = np.diff(np.concatenate([[series[-1]], forecast]))
+        assert diffs[0] * diffs[1] < 0  # keeps alternating
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            ARForecaster(order=3).fit(np.arange(4.0))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ARForecaster(order=0)
+        with pytest.raises(ValueError):
+            ARForecaster(ridge=-1)
+
+    def test_unfitted_forecast_raises(self):
+        with pytest.raises(RuntimeError):
+            ARForecaster().forecast(3)
+
+    def test_rejects_nonfinite(self):
+        series = np.arange(20.0)
+        series[5] = np.inf
+        with pytest.raises(ValueError):
+            ARForecaster().fit(series)
+
+
+class TestCrossingForecast:
+    def test_already_crossed(self):
+        forecaster = HoltLinearForecaster().fit(linear_series())
+        result = crossing_forecast(forecaster, last_value=0.5, threshold=0.4)
+        assert result.crossed_already
+        assert result.crossing_step == 0.0
+
+    def test_crossing_step_matches_trend(self):
+        series = linear_series(slope=0.01, intercept=0.0, n=50)  # last = 0.49
+        forecaster = HoltLinearForecaster(damping=1.0).fit(series)
+        result = crossing_forecast(forecaster, float(series[-1]), threshold=0.59)
+        assert not result.crossed_already
+        assert result.crossing_step == pytest.approx(10, abs=2)
+
+    def test_flat_series_never_crosses(self):
+        series = np.full(30, 0.1)
+        forecaster = HoltLinearForecaster().fit(series)
+        result = crossing_forecast(forecaster, 0.1, threshold=0.5, horizon=100)
+        assert result.crossing_step == np.inf
+
+    def test_works_with_ar_forecaster(self):
+        series = linear_series(slope=0.02, intercept=0.0, n=60)
+        forecaster = ARForecaster(order=2).fit(series)
+        result = crossing_forecast(forecaster, float(series[-1]), threshold=2.0)
+        assert np.isfinite(result.crossing_step)

@@ -1,0 +1,118 @@
+"""Tests for Gaussian KDE and min-error threshold learning (kde.py)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kde import GaussianKDE1D, min_error_threshold
+
+
+class TestGaussianKDE:
+    def test_density_integrates_to_one(self):
+        gen = np.random.default_rng(0)
+        kde = GaussianKDE1D(gen.normal(0, 1, size=200))
+        grid = np.linspace(-8, 8, 4001)
+        integral = np.trapezoid(kde.pdf(grid), grid)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_density_peaks_near_sample_mass(self):
+        samples = np.concatenate([np.full(50, -3.0), np.full(50, 3.0)])
+        kde = GaussianKDE1D(samples, bandwidth=0.5)
+        assert kde.pdf(-3.0) > kde.pdf(0.0)
+        assert kde.pdf(3.0) > kde.pdf(0.0)
+
+    def test_callable_matches_pdf(self):
+        kde = GaussianKDE1D(np.asarray([0.0, 1.0, 2.0]))
+        x = np.asarray([0.5, 1.5])
+        assert np.allclose(kde(x), kde.pdf(x))
+
+    def test_degenerate_constant_samples(self):
+        kde = GaussianKDE1D(np.full(10, 5.0))
+        assert kde.bandwidth_ > 0
+        assert kde.pdf(5.0) > kde.pdf(6.0)
+
+    def test_single_sample(self):
+        kde = GaussianKDE1D(np.asarray([2.0]))
+        assert np.isfinite(kde.pdf(2.0)).all()
+
+    def test_rejects_empty_or_nonfinite(self):
+        with pytest.raises(ValueError):
+            GaussianKDE1D(np.empty(0))
+        with pytest.raises(ValueError):
+            GaussianKDE1D(np.asarray([1.0, np.nan]))
+        with pytest.raises(ValueError):
+            GaussianKDE1D(np.asarray([1.0]), bandwidth=0.0)
+
+    def test_silverman_bandwidth_shrinks_with_n(self):
+        gen = np.random.default_rng(1)
+        small = GaussianKDE1D(gen.normal(size=20))
+        large = GaussianKDE1D(gen.normal(size=2000))
+        assert large.bandwidth_ < small.bandwidth_
+
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=50)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_density_is_non_negative_everywhere(self, samples):
+        kde = GaussianKDE1D(np.asarray(samples))
+        grid = np.linspace(min(samples) - 10, max(samples) + 10, 100)
+        assert (kde.pdf(grid) >= 0).all()
+
+
+class TestMinErrorThreshold:
+    def test_perfectly_separable_classes(self):
+        lower = np.asarray([0.0, 0.1, 0.2])
+        upper = np.asarray([1.0, 1.1, 1.2])
+        threshold = min_error_threshold(lower, upper)
+        assert 0.2 < threshold <= 1.0
+        assert (lower < threshold).all()
+        assert (upper >= threshold).all()
+
+    def test_zero_error_when_separable(self):
+        gen = np.random.default_rng(0)
+        lower = gen.uniform(0, 0.4, size=100)
+        upper = gen.uniform(0.6, 1.0, size=100)
+        t = min_error_threshold(lower, upper)
+        errors = (lower >= t).sum() + (upper < t).sum()
+        assert errors == 0
+
+    def test_overlapping_classes_minimize_error(self):
+        gen = np.random.default_rng(1)
+        lower = gen.normal(0.0, 1.0, size=500)
+        upper = gen.normal(2.0, 1.0, size=500)
+        t = min_error_threshold(lower, upper)
+        # The Bayes boundary for equal-variance Gaussians is the midpoint.
+        assert abs(t - 1.0) < 0.3
+
+    def test_threshold_error_is_a_minimum(self):
+        gen = np.random.default_rng(2)
+        lower = gen.normal(0, 1, size=200)
+        upper = gen.normal(1.5, 1, size=200)
+        t = min_error_threshold(lower, upper)
+
+        def errors(thr):
+            return (lower >= thr).sum() + (upper < thr).sum()
+
+        base = errors(t)
+        for other in np.linspace(-3, 5, 101):
+            assert errors(other) >= base
+
+    def test_identical_values_degenerate(self):
+        assert min_error_threshold([1.0, 1.0], [1.0]) == 1.0
+
+    def test_rejects_empty_classes(self):
+        with pytest.raises(ValueError):
+            min_error_threshold(np.empty(0), np.asarray([1.0]))
+        with pytest.raises(ValueError):
+            min_error_threshold(np.asarray([1.0]), np.empty(0))
+
+    @given(
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=40),
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_within_data_range(self, lower, upper):
+        t = min_error_threshold(np.asarray(lower), np.asarray(upper))
+        all_vals = lower + upper
+        assert min(all_vals) <= t <= max(all_vals)

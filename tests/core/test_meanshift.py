@@ -1,0 +1,106 @@
+"""Tests for the from-scratch mean-shift clusterer (meanshift.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.meanshift import MeanShift, estimate_bandwidth
+
+
+def two_blobs(n_a=60, n_b=30, separation=5.0, seed=0):
+    gen = np.random.default_rng(seed)
+    blob_a = gen.normal(0.0, 0.3, size=(n_a, 3))
+    blob_b = gen.normal(0.0, 0.3, size=(n_b, 3)) + separation
+    return np.vstack([blob_a, blob_b])
+
+
+class TestEstimateBandwidth:
+    def test_positive_for_spread_data(self):
+        pts = two_blobs()
+        assert estimate_bandwidth(pts) > 0
+
+    def test_single_point(self):
+        assert estimate_bandwidth(np.zeros((1, 3))) == 1.0
+
+    def test_identical_points(self):
+        assert estimate_bandwidth(np.zeros((10, 3))) > 0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            estimate_bandwidth(np.zeros((5, 2)), quantile=0.0)
+
+    def test_scales_with_data_spread(self):
+        tight = estimate_bandwidth(two_blobs(separation=1.0))
+        wide = estimate_bandwidth(two_blobs(separation=20.0))
+        assert wide > tight
+
+
+class TestMeanShift:
+    def test_separates_two_blobs(self):
+        pts = two_blobs()
+        result = MeanShift(bandwidth=1.0).fit(pts)
+        assert result.n_clusters == 2
+        # Largest cluster first, and the split matches construction.
+        sizes = result.cluster_sizes()
+        assert sizes[0] == 60
+        assert sizes[1] == 30
+
+    def test_labels_align_with_geometry(self):
+        pts = two_blobs()
+        result = MeanShift(bandwidth=1.0).fit(pts)
+        assert (result.labels[:60] == result.labels[0]).all()
+        assert (result.labels[60:] == result.labels[60]).all()
+        assert result.labels[0] != result.labels[60]
+
+    def test_single_tight_cluster(self):
+        gen = np.random.default_rng(1)
+        pts = gen.normal(0.0, 0.05, size=(40, 3))
+        result = MeanShift(bandwidth=1.0).fit(pts)
+        assert result.n_clusters == 1
+
+    def test_centers_near_blob_means(self):
+        pts = two_blobs(separation=8.0)
+        result = MeanShift(bandwidth=1.5).fit(pts)
+        main = result.centers[0]
+        assert np.linalg.norm(main - pts[:60].mean(axis=0)) < 0.3
+
+    def test_auto_bandwidth_path(self):
+        pts = two_blobs()
+        result = MeanShift().fit(pts)
+        assert result.bandwidth > 0
+        assert result.n_clusters >= 1
+
+    def test_single_point_input(self):
+        result = MeanShift(bandwidth=1.0).fit(np.asarray([[1.0, 2.0, 3.0]]))
+        assert result.n_clusters == 1
+        assert result.labels.tolist() == [0]
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            MeanShift(bandwidth=1.0).fit(np.empty((0, 3)))
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            MeanShift(bandwidth=0.0)
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            MeanShift(max_iterations=0)
+
+    def test_three_clusters_in_1d_embedded(self):
+        gen = np.random.default_rng(3)
+        pts = np.vstack(
+            [
+                gen.normal(0, 0.1, size=(20, 2)),
+                gen.normal(4, 0.1, size=(20, 2)),
+                gen.normal(8, 0.1, size=(20, 2)),
+            ]
+        )
+        result = MeanShift(bandwidth=1.0).fit(pts)
+        assert result.n_clusters == 3
+
+    def test_deterministic(self):
+        pts = two_blobs()
+        r1 = MeanShift(bandwidth=1.0).fit(pts)
+        r2 = MeanShift(bandwidth=1.0).fit(pts)
+        assert np.array_equal(r1.labels, r2.labels)
+        assert np.allclose(r1.centers, r2.centers)

@@ -1,0 +1,125 @@
+"""Tests for invalid-measurement detection on offsets (outliers.py, Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.outliers import OutlierConfig, detect_invalid_measurements, stability_report
+
+
+def stable_offsets(n=60, center=(0.1, -0.2, 0.98), noise=0.005, seed=0):
+    gen = np.random.default_rng(seed)
+    return np.asarray(center)[None, :] + gen.normal(0, noise, size=(n, 3))
+
+
+class TestDetectInvalid:
+    def test_stable_sensor_has_no_invalid_measurements(self):
+        invalid = detect_invalid_measurements(stable_offsets())
+        assert not invalid.any()
+
+    def test_abrupt_jump_segment_is_flagged(self):
+        """Fig. 8b: an offset jump mid-trace marks the smaller regime invalid."""
+        offsets = stable_offsets(n=80)
+        offsets[60:] += np.asarray([0.8, -0.5, 0.4])  # jump
+        invalid = detect_invalid_measurements(offsets)
+        assert invalid[60:].all()
+        assert not invalid[:60].any()
+
+    def test_majority_regime_wins_regardless_of_order(self):
+        offsets = stable_offsets(n=80)
+        offsets[:20] += np.asarray([0.9, 0.0, 0.0])  # early bad segment
+        invalid = detect_invalid_measurements(offsets)
+        assert invalid[:20].all()
+        assert not invalid[20:].any()
+
+    def test_far_drift_tail_is_flagged(self):
+        offsets = stable_offsets(n=100, noise=0.002)
+        drift = np.linspace(0, 1.2, 100)[:, None] * np.asarray([1.0, 0.2, -0.1])
+        offsets = offsets + drift
+        invalid = detect_invalid_measurements(offsets)
+        # A long drift has no single true regime: the detector must
+        # exclude a substantial part of the trace (the stretches far from
+        # the dominant offset cluster) while keeping one coherent regime.
+        assert invalid.mean() > 0.25
+        assert (~invalid).sum() >= 10
+
+    def test_empty_and_singleton_inputs(self):
+        assert detect_invalid_measurements(np.empty((0, 3))).shape == (0,)
+        assert not detect_invalid_measurements(np.asarray([[0.0, 0.0, 1.0]])).any()
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            detect_invalid_measurements(np.zeros((5, 2)))
+
+    def test_custom_bandwidth_changes_sensitivity(self):
+        offsets = stable_offsets(n=40)
+        offsets[30:] += 0.2  # modest shift
+        tight = detect_invalid_measurements(offsets, OutlierConfig(bandwidth=0.05))
+        loose = detect_invalid_measurements(offsets, OutlierConfig(bandwidth=2.0))
+        assert tight.sum() >= loose.sum()
+        assert not loose.any()
+
+
+class TestOutlierConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            OutlierConfig(bandwidth=-1.0)
+        with pytest.raises(ValueError):
+            OutlierConfig(min_main_fraction=0.0)
+        with pytest.raises(ValueError):
+            OutlierConfig(max_offset_jump=0.0)
+
+
+class TestStabilityReport:
+    def test_stable_sensor_report(self):
+        report = stability_report(stable_offsets())
+        assert report["stable"]
+        assert report["n_clusters"] == 1
+        assert report["invalid_fraction"] == 0.0
+
+    def test_unstable_sensor_report(self):
+        offsets = stable_offsets(n=60)
+        offsets[40:] += np.asarray([1.0, 0.0, 0.0])
+        report = stability_report(offsets)
+        assert not report["stable"]
+        assert report["n_clusters"] >= 2
+        assert report["invalid_fraction"] > 0.2
+
+    def test_main_offset_matches_dominant_center(self):
+        offsets = stable_offsets(center=(0.2, 0.3, 0.9), noise=0.002)
+        report = stability_report(offsets)
+        assert np.allclose(report["main_offset"], [0.2, 0.3, 0.9], atol=0.01)
+
+
+class TestLargeTraceSubsampling:
+    def test_large_stable_trace_all_valid(self):
+        offsets = stable_offsets(n=5000, noise=0.004, seed=7)
+        invalid = detect_invalid_measurements(
+            offsets, OutlierConfig(max_cluster_points=500)
+        )
+        assert not invalid.any()
+
+    def test_large_trace_jump_still_detected(self):
+        offsets = stable_offsets(n=4000, noise=0.004, seed=8)
+        offsets[3000:] += np.asarray([0.9, -0.4, 0.3])
+        invalid = detect_invalid_measurements(
+            offsets, OutlierConfig(max_cluster_points=500)
+        )
+        assert invalid[3000:].all()
+        assert not invalid[:3000].any()
+
+    def test_subsampled_matches_full_on_boundary_case(self):
+        """At exactly max_cluster_points the full path runs; one more
+        point flips to subsampling — results must agree."""
+        offsets = stable_offsets(n=200, noise=0.004, seed=9)
+        offsets[150:] += np.asarray([0.8, 0.0, 0.0])
+        full = detect_invalid_measurements(
+            offsets, OutlierConfig(max_cluster_points=200)
+        )
+        sub = detect_invalid_measurements(
+            offsets, OutlierConfig(max_cluster_points=100)
+        )
+        assert np.array_equal(full, sub)
+
+    def test_rejects_tiny_cap(self):
+        with pytest.raises(ValueError):
+            OutlierConfig(max_cluster_points=5)

@@ -1,0 +1,150 @@
+"""Tests for harmonic peak extraction (peaks.py)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import psd_feature, psd_frequencies
+from repro.core.peaks import HarmonicPeaks, extract_harmonic_peaks
+from tests.conftest import make_sine_block
+
+FS = 4000.0
+K = 1024
+
+
+def psd_with_tones(tone_freqs, amplitudes, noise=0.001, seed=0):
+    """PSD of a multi-tone block via the real feature path."""
+    gen = np.random.default_rng(seed)
+    t = np.arange(K) / FS
+    mono = sum(a * np.sin(2 * np.pi * f * t) for f, a in zip(tone_freqs, amplitudes))
+    block = np.stack([mono, mono, mono], axis=1)
+    block += gen.normal(0, noise, size=block.shape)
+    return psd_feature(block), psd_frequencies(K, FS)
+
+
+class TestHarmonicPeaksType:
+    def test_rejects_unsorted_frequencies(self):
+        with pytest.raises(ValueError, match="increasing"):
+            HarmonicPeaks(np.asarray([10.0, 5.0]), np.asarray([1.0, 1.0]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            HarmonicPeaks(np.asarray([1.0, 2.0]), np.asarray([1.0]))
+
+    def test_empty_feature(self):
+        peaks = HarmonicPeaks(np.empty(0), np.empty(0))
+        assert len(peaks) == 0
+        assert peaks.max_value == 0.0
+        assert peaks.max_frequency == 0.0
+
+    def test_as_pairs_layout(self):
+        peaks = HarmonicPeaks(np.asarray([10.0, 20.0]), np.asarray([3.0, 1.0]))
+        pairs = peaks.as_pairs()
+        assert pairs.shape == (2, 2)
+        assert np.allclose(pairs[:, 0], [10.0, 20.0])
+        assert np.allclose(pairs[:, 1], [3.0, 1.0])
+
+
+class TestExtraction:
+    def test_finds_planted_tones(self):
+        tones = [300.0, 800.0, 1500.0]
+        psd, freqs = psd_with_tones(tones, [1.0, 0.8, 0.6])
+        peaks = extract_harmonic_peaks(psd, freqs, num_peaks=5)
+        for tone in tones:
+            assert (np.abs(peaks.frequencies - tone) < 30).any(), f"missed {tone} Hz"
+
+    def test_respects_num_peaks_budget(self):
+        psd, freqs = psd_with_tones([200, 400, 600, 800, 1000], [1] * 5, noise=0.01)
+        peaks = extract_harmonic_peaks(psd, freqs, num_peaks=3)
+        assert len(peaks) <= 3
+
+    def test_peaks_sorted_by_frequency(self):
+        psd, freqs = psd_with_tones([500, 1200, 250], [0.5, 1.0, 0.8])
+        peaks = extract_harmonic_peaks(psd, freqs)
+        assert (np.diff(peaks.frequencies) > 0).all()
+
+    def test_strongest_tone_has_largest_value(self):
+        psd, freqs = psd_with_tones([400.0, 1100.0], [1.0, 0.3])
+        peaks = extract_harmonic_peaks(psd, freqs, num_peaks=2)
+        strongest = peaks.frequencies[int(np.argmax(peaks.values))]
+        assert abs(strongest - 400.0) < 30
+
+    def test_dc_bins_are_skipped(self):
+        psd = np.zeros(256)
+        psd[0] = 100.0  # spurious DC energy
+        psd[1] = 50.0
+        psd[100] = 1.0
+        freqs = psd_frequencies(256, FS)
+        peaks = extract_harmonic_peaks(psd, freqs, window_size=1, skip_dc_bins=2)
+        assert (peaks.frequencies > freqs[1]).all()
+
+    def test_flat_psd_yields_no_peaks(self):
+        psd = np.ones(512)
+        freqs = psd_frequencies(512, FS)
+        peaks = extract_harmonic_peaks(psd, freqs)
+        assert len(peaks) == 0
+
+    def test_plateau_counts_once(self):
+        psd = np.zeros(128)
+        psd[40:44] = 5.0  # flat-topped peak
+        freqs = psd_frequencies(128, FS)
+        peaks = extract_harmonic_peaks(psd, freqs, window_size=1)
+        near = np.abs(peaks.frequencies - freqs[40]) < (freqs[5] - freqs[0])
+        assert near.sum() == 1
+
+    def test_smoothing_suppresses_single_bin_noise_spikes(self):
+        gen = np.random.default_rng(2)
+        psd = np.full(1024, 0.01)
+        spike_bins = gen.choice(np.arange(10, 1014), size=200, replace=False)
+        psd[spike_bins] += gen.exponential(0.05, size=200)
+        # one broad true peak
+        psd[500:520] += 1.0
+        freqs = psd_frequencies(1024, FS)
+        peaks = extract_harmonic_peaks(psd, freqs, num_peaks=1, window_size=24)
+        assert 480 <= int(np.searchsorted(freqs, peaks.frequencies[0])) <= 540
+
+    def test_rejects_bad_inputs(self):
+        freqs = psd_frequencies(64, FS)
+        with pytest.raises(ValueError):
+            extract_harmonic_peaks(np.ones((4, 4)), freqs)
+        with pytest.raises(ValueError):
+            extract_harmonic_peaks(np.ones(32), freqs)
+        with pytest.raises(ValueError):
+            extract_harmonic_peaks(np.ones(64), freqs, num_peaks=0)
+        with pytest.raises(ValueError):
+            extract_harmonic_peaks(np.ones(64), freqs, skip_dc_bins=-1)
+
+    def test_extraction_is_deterministic(self):
+        psd, freqs = psd_with_tones([300, 900], [1.0, 0.5])
+        p1 = extract_harmonic_peaks(psd, freqs)
+        p2 = extract_harmonic_peaks(psd, freqs)
+        assert np.array_equal(p1.frequencies, p2.frequencies)
+        assert np.array_equal(p1.values, p2.values)
+
+    @given(
+        st.lists(st.integers(5, 500), min_size=1, max_size=8, unique=True),
+        st.integers(1, 20),
+        st.integers(1, 32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_for_random_spike_psds(self, spike_bins, num_peaks, window):
+        psd = np.zeros(512)
+        for bin_idx in spike_bins:
+            psd[bin_idx] = 1.0
+        freqs = psd_frequencies(512, FS)
+        peaks = extract_harmonic_peaks(psd, freqs, num_peaks=num_peaks, window_size=window)
+        assert len(peaks) <= num_peaks
+        if len(peaks) > 1:
+            assert (np.diff(peaks.frequencies) > 0).all()
+        assert (peaks.values >= 0).all()
+
+
+class TestOnRealisticSignal:
+    def test_sine_block_roundtrip(self):
+        block = make_sine_block(freq_hz=590.0, amplitude=1.0)
+        psd = psd_feature(block)
+        freqs = psd_frequencies(block.shape[0], FS)
+        peaks = extract_harmonic_peaks(psd, freqs, num_peaks=1)
+        assert len(peaks) == 1
+        assert abs(peaks.frequencies[0] - 590.0) < 40

@@ -1,0 +1,132 @@
+"""Tests for RUL estimation (rul.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import ZONE_A, ZONE_BC, ZONE_D
+from repro.core.ransac import RecursiveRANSAC
+from repro.core.rul import RULEstimator, learn_zone_d_threshold
+
+
+def fleet_scatter(seed=0):
+    """Two-population D_a-vs-service-time scatter with known slopes."""
+    gen = np.random.default_rng(seed)
+    x1 = gen.uniform(0, 500, size=300)
+    z1 = 0.0005 * x1 + 0.05 + gen.normal(0, 0.008, size=300)
+    x2 = gen.uniform(0, 170, size=200)
+    z2 = 0.0016 * x2 + 0.05 + gen.normal(0, 0.008, size=200)
+    return np.concatenate([x1, x2]), np.concatenate([z1, z2])
+
+
+def make_estimator(seed=0):
+    estimator = RULEstimator(
+        zone_d_threshold=0.30,
+        recursive_ransac=RecursiveRANSAC(
+            residual_threshold=0.025, min_inliers=80, min_slope=1e-5, seed=seed
+        ),
+    )
+    x, z = fleet_scatter(seed)
+    return estimator.fit(x, z)
+
+
+class TestZoneDThreshold:
+    def test_threshold_separates_bc_from_d(self):
+        da = np.asarray([0.05, 0.1, 0.15, 0.18, 0.25, 0.3, 0.35])
+        labels = np.asarray(
+            [ZONE_A, ZONE_BC, ZONE_BC, ZONE_BC, ZONE_D, ZONE_D, ZONE_D], dtype=object
+        )
+        t = learn_zone_d_threshold(da, labels)
+        assert 0.18 < t <= 0.25
+
+    def test_zone_a_samples_are_ignored(self):
+        da = np.asarray([0.9, 0.1, 0.3])  # absurd A value must not matter
+        labels = np.asarray([ZONE_A, ZONE_BC, ZONE_D], dtype=object)
+        t = learn_zone_d_threshold(da, labels)
+        assert 0.1 < t <= 0.3
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            learn_zone_d_threshold(np.asarray([0.1]), np.asarray([ZONE_BC], dtype=object))
+
+
+class TestRULEstimator:
+    def test_fit_discovers_two_models(self):
+        estimator = make_estimator()
+        assert estimator.n_models == 2
+
+    def test_slow_pump_assigned_to_shallow_model(self):
+        estimator = make_estimator()
+        xs = np.linspace(0, 200, 30)
+        zs = 0.0005 * xs + 0.05
+        idx = estimator.select_model(xs, zs)
+        assert estimator.models_[idx].slope == pytest.approx(0.0005, rel=0.3)
+
+    def test_fast_pump_assigned_to_steep_model(self):
+        estimator = make_estimator()
+        xs = np.linspace(0, 100, 30)
+        zs = 0.0016 * xs + 0.05
+        idx = estimator.select_model(xs, zs)
+        assert estimator.models_[idx].slope == pytest.approx(0.0016, rel=0.3)
+
+    def test_predict_matches_analytic_crossing(self):
+        estimator = make_estimator()
+        xs = np.linspace(0, 100, 20)
+        zs = 0.0016 * xs + 0.05  # crosses 0.30 at x = 156.25
+        prediction = estimator.predict(xs, zs)
+        assert prediction.crossing_service_days == pytest.approx(156.25, rel=0.15)
+        assert prediction.rul_days == pytest.approx(
+            prediction.crossing_service_days - 100.0, abs=1e-9
+        )
+
+    def test_negative_rul_for_pump_past_threshold(self):
+        """The paper's pumps 2 and 11: already past the hazard boundary."""
+        estimator = make_estimator()
+        xs = np.linspace(100, 300, 20)
+        zs = 0.0016 * xs + 0.05  # at x=300, D_a = 0.53 >> 0.30
+        prediction = estimator.predict(xs, zs)
+        assert prediction.rul_days < 0
+
+    def test_predict_is_robust_to_outlier_spikes(self):
+        estimator = make_estimator()
+        xs = np.linspace(0, 100, 40)
+        zs = 0.0016 * xs + 0.05
+        zs_spiked = zs.copy()
+        zs_spiked[::10] += 0.5  # maintenance spikes
+        clean = estimator.predict(xs, zs)
+        spiked = estimator.predict(xs, zs_spiked)
+        assert spiked.crossing_service_days == pytest.approx(
+            clean.crossing_service_days, rel=0.2
+        )
+
+    def test_predict_fleet(self):
+        estimator = make_estimator()
+        histories = {
+            "slow": (np.linspace(0, 200, 10), 0.0005 * np.linspace(0, 200, 10) + 0.05),
+            "fast": (np.linspace(0, 100, 10), 0.0016 * np.linspace(0, 100, 10) + 0.05),
+        }
+        predictions = estimator.predict_fleet(histories)
+        assert set(predictions) == {"slow", "fast"}
+        assert predictions["slow"].rul_days > predictions["fast"].rul_days
+
+    def test_predict_without_fit_raises(self):
+        estimator = RULEstimator(zone_d_threshold=0.3)
+        with pytest.raises(RuntimeError):
+            estimator.predict(np.asarray([1.0]), np.asarray([0.1]))
+
+    def test_empty_history_raises(self):
+        estimator = make_estimator()
+        with pytest.raises(ValueError):
+            estimator.predict(np.empty(0), np.empty(0))
+
+    def test_misaligned_history_raises(self):
+        estimator = make_estimator()
+        with pytest.raises(ValueError):
+            estimator.predict(np.ones(3), np.ones(4))
+
+    def test_rejects_non_finite_threshold(self):
+        with pytest.raises(ValueError):
+            RULEstimator(zone_d_threshold=float("nan"))
+
+    def test_select_model_without_models(self):
+        estimator = RULEstimator(zone_d_threshold=0.3)
+        assert estimator.select_model(np.asarray([1.0]), np.asarray([0.1])) == -1

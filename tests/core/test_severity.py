@@ -1,0 +1,92 @@
+"""Tests for ISO-style velocity severity (severity.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.severity import (
+    DEFAULT_BOUNDARIES_MM_S,
+    SeverityAssessment,
+    assess_severity,
+    velocity_rms_mm_s,
+)
+from repro.simulation.signal import VibrationSynthesizer
+
+FS = 4000.0
+K = 4096
+
+
+def tone_block(freq_hz, accel_amplitude_g, k=K):
+    t = np.arange(k) / FS
+    mono = accel_amplitude_g * np.sin(2 * np.pi * freq_hz * t)
+    return np.stack([mono, np.zeros(k), np.zeros(k)], axis=1)
+
+
+class TestVelocityRMS:
+    def test_analytic_tone_velocity(self):
+        """For a pure tone a(t)=A sin(wt): v_rms = A/(w sqrt(2))."""
+        freq = 100.0
+        amp_g = 0.5
+        block = tone_block(freq, amp_g)
+        expected = amp_g * 9.80665 / (2 * np.pi * freq) / np.sqrt(2) * 1000.0
+        assert velocity_rms_mm_s(block, FS) == pytest.approx(expected, rel=0.02)
+
+    def test_same_accel_lower_frequency_means_higher_velocity(self):
+        """1/w weighting: low-frequency vibration is more severe."""
+        low = velocity_rms_mm_s(tone_block(50.0, 0.5), FS)
+        high = velocity_rms_mm_s(tone_block(500.0, 0.5), FS)
+        assert low > 5 * high
+
+    def test_out_of_band_energy_ignored(self):
+        in_band = velocity_rms_mm_s(tone_block(100.0, 0.5), FS)
+        out_band = velocity_rms_mm_s(tone_block(1500.0, 0.5), FS)
+        assert out_band < 0.05 * in_band
+
+    def test_rejects_bad_band(self):
+        block = tone_block(100.0, 0.5)
+        with pytest.raises(ValueError):
+            velocity_rms_mm_s(block, FS, band_hz=(0.0, 100.0))
+        with pytest.raises(ValueError):
+            velocity_rms_mm_s(block, FS, band_hz=(100.0, 50.0))
+
+
+class TestAssessSeverity:
+    def amplitude_for_velocity(self, target_mm_s, freq=100.0):
+        """Tone acceleration amplitude giving the target velocity RMS."""
+        return target_mm_s / 1000.0 * (2 * np.pi * freq) * np.sqrt(2) / 9.80665
+
+    @pytest.mark.parametrize(
+        "target_mm_s,iso_zone,pooled",
+        [(1.0, "A", "A"), (3.0, "B", "BC"), (5.5, "C", "BC"), (10.0, "D", "D")],
+    )
+    def test_zone_mapping(self, target_mm_s, iso_zone, pooled):
+        amp = self.amplitude_for_velocity(target_mm_s)
+        assessment = assess_severity(tone_block(100.0, amp), FS)
+        assert assessment.iso_zone == iso_zone
+        assert assessment.zone == pooled
+        assert assessment.velocity_rms_mm_s == pytest.approx(target_mm_s, rel=0.05)
+
+    def test_rejects_bad_boundaries(self):
+        block = tone_block(100.0, 0.5)
+        with pytest.raises(ValueError):
+            assess_severity(block, FS, boundaries_mm_s=(4.0, 2.0, 7.0))
+
+    def test_degradation_raises_severity(self):
+        gen = np.random.default_rng(0)
+        synth = VibrationSynthesizer()
+        healthy = np.mean(
+            [
+                velocity_rms_mm_s(synth.synthesize(0.05, 1024, FS, gen), FS)
+                for _ in range(6)
+            ]
+        )
+        worn = np.mean(
+            [
+                velocity_rms_mm_s(synth.synthesize(1.0, 1024, FS, gen), FS)
+                for _ in range(6)
+            ]
+        )
+        assert worn > healthy
+
+    def test_default_boundaries_are_iso_ordered(self):
+        ab, bc, cd = DEFAULT_BOUNDARIES_MM_S
+        assert 0 < ab < bc < cd

@@ -1,0 +1,262 @@
+"""Tests for classical condition indicators (spectral.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import psd_feature, psd_frequencies
+from repro.core.spectral import (
+    band_energies,
+    condition_indicators,
+    crest_factor,
+    kurtosis,
+    peak_to_peak,
+    spectral_centroid,
+    spectral_entropy,
+)
+from repro.simulation.signal import VibrationSynthesizer
+from tests.conftest import make_sine_block
+
+FS = 4000.0
+K = 1024
+
+
+class TestCrestFactor:
+    def test_sinusoid_is_sqrt_two(self):
+        block = make_sine_block(amplitude=1.0, num_samples=4000)
+        # Combined 3-axis magnitude of proportional axes is a rectified
+        # sinusoid; its crest factor is sqrt(2).
+        assert crest_factor(block) == pytest.approx(np.sqrt(2.0), rel=0.02)
+
+    def test_impulsive_signal_has_higher_crest(self):
+        gen = np.random.default_rng(0)
+        smooth = gen.normal(0, 1, size=(2048, 3))
+        impulsive = smooth.copy()
+        impulsive[100] += 30.0
+        assert crest_factor(impulsive) > 2 * crest_factor(smooth)
+
+    def test_constant_block_is_zero(self):
+        assert crest_factor(np.ones((64, 3))) == 0.0
+
+
+class TestKurtosis:
+    def test_gaussian_near_zero(self):
+        gen = np.random.default_rng(1)
+        block = gen.normal(0, 1, size=(20000, 3))
+        assert abs(kurtosis(block)) < 0.1
+
+    def test_impulsive_positive(self):
+        gen = np.random.default_rng(2)
+        block = gen.normal(0, 0.1, size=(4096, 3))
+        block[::500] += 5.0
+        assert kurtosis(block) > 3.0
+
+    def test_sinusoid_negative(self):
+        block = make_sine_block(amplitude=1.0, noise=0.0, num_samples=4000)
+        assert kurtosis(block) < 0.0
+
+    def test_constant_block_is_zero(self):
+        assert kurtosis(np.full((64, 3), 2.0)) == 0.0
+
+
+class TestPeakToPeak:
+    def test_sinusoid_swing(self):
+        block = make_sine_block(amplitude=0.5, noise=0.0, num_samples=4000)
+        assert peak_to_peak(block) == pytest.approx(1.0, rel=0.02)
+
+    def test_offset_invariant(self):
+        block = make_sine_block(amplitude=0.5, offset=(3.0, -2.0, 5.0))
+        base = make_sine_block(amplitude=0.5, offset=(0.0, 0.0, 0.0))
+        assert peak_to_peak(block) == pytest.approx(peak_to_peak(base))
+
+
+class TestBandEnergies:
+    def test_partitions_total_energy(self):
+        gen = np.random.default_rng(3)
+        block = gen.normal(size=(K, 3))
+        psd = psd_feature(block)
+        freqs = psd_frequencies(K, FS)
+        bands = band_energies(psd, freqs, (0.0, 500.0, 1000.0, 2000.0 + 1))
+        assert bands.sum() == pytest.approx(psd.sum(), rel=1e-9)
+
+    def test_tone_lands_in_its_band(self):
+        block = make_sine_block(freq_hz=750.0, amplitude=1.0)
+        psd = psd_feature(block)
+        freqs = psd_frequencies(K, FS)
+        bands = band_energies(psd, freqs, (0.0, 500.0, 1000.0, 2001.0))
+        assert bands[1] > 10 * (bands[0] + bands[2])
+
+    def test_rejects_bad_edges(self):
+        psd = np.ones(8)
+        freqs = np.arange(8.0)
+        with pytest.raises(ValueError):
+            band_energies(psd, freqs, (5.0,))
+        with pytest.raises(ValueError):
+            band_energies(psd, freqs, (5.0, 1.0))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            band_energies(np.ones(8), np.arange(4.0), (0.0, 2.0))
+
+
+class TestSpectralCentroid:
+    def test_tone_centroid_at_tone(self):
+        block = make_sine_block(freq_hz=900.0, amplitude=1.0, noise=0.001)
+        psd = psd_feature(block)
+        freqs = psd_frequencies(K, FS)
+        assert spectral_centroid(psd, freqs) == pytest.approx(900.0, abs=60.0)
+
+    def test_degradation_raises_centroid(self):
+        gen = np.random.default_rng(4)
+        synth = VibrationSynthesizer()
+        freqs = psd_frequencies(K, FS)
+        healthy = np.mean(
+            [
+                spectral_centroid(psd_feature(synth.synthesize(0.05, K, FS, gen)), freqs)
+                for _ in range(8)
+            ]
+        )
+        worn = np.mean(
+            [
+                spectral_centroid(psd_feature(synth.synthesize(1.0, K, FS, gen)), freqs)
+                for _ in range(8)
+            ]
+        )
+        assert worn > healthy
+
+    def test_zero_psd(self):
+        assert spectral_centroid(np.zeros(8), np.arange(8.0)) == 0.0
+
+
+class TestSpectralEntropy:
+    def test_bounds(self):
+        flat = spectral_entropy(np.ones(256))
+        peaky = np.zeros(256)
+        peaky[10] = 1.0
+        concentrated = spectral_entropy(peaky)
+        assert flat == pytest.approx(1.0, abs=1e-9)
+        assert concentrated == pytest.approx(0.0, abs=1e-9)
+
+    def test_harmonic_spectrum_below_noise_spectrum(self):
+        tone = psd_feature(make_sine_block(amplitude=1.0, noise=0.001))
+        gen = np.random.default_rng(5)
+        noise = psd_feature(gen.normal(0, 1, size=(K, 3)))
+        assert spectral_entropy(tone) < spectral_entropy(noise)
+
+    def test_degenerate_inputs(self):
+        assert spectral_entropy(np.zeros(8)) == 0.0
+        assert spectral_entropy(np.ones(1)) == 0.0
+
+
+class TestConditionIndicators:
+    def test_bundle_is_complete_and_finite(self):
+        block = make_sine_block(noise=0.05)
+        bundle = condition_indicators(block, FS)
+        values = bundle.as_dict()
+        assert set(values) == {
+            "rms",
+            "crest_factor",
+            "kurtosis",
+            "peak_to_peak",
+            "spectral_centroid_hz",
+            "spectral_entropy",
+            "high_frequency_energy",
+        }
+        assert all(np.isfinite(v) for v in values.values())
+
+    def test_indicators_track_degradation(self):
+        gen = np.random.default_rng(6)
+        synth = VibrationSynthesizer()
+
+        def mean_bundle(wear):
+            bundles = [
+                condition_indicators(synth.synthesize(wear, K, FS, gen), FS)
+                for _ in range(6)
+            ]
+            return {
+                key: np.mean([b.as_dict()[key] for b in bundles])
+                for key in bundles[0].as_dict()
+            }
+
+        healthy = mean_bundle(0.05)
+        worn = mean_bundle(1.0)
+        assert worn["rms"] > healthy["rms"]
+        assert worn["high_frequency_energy"] > healthy["high_frequency_energy"]
+        assert worn["peak_to_peak"] > healthy["peak_to_peak"]
+
+
+class TestEnvelopeSpectrum:
+    def test_detects_modulation_rate_of_impacts(self):
+        """An impact train at f_rep amplitude-modulating a high carrier
+        shows a peak at f_rep in the envelope spectrum."""
+        from repro.core.spectral import envelope_spectrum
+
+        fs, k = 4000.0, 4096
+        f_carrier, f_rep = 1500.0, 87.0
+        t = np.arange(k) / fs
+        modulation = 0.5 * (1 + np.sign(np.sin(2 * np.pi * f_rep * t)))
+        signal = modulation * np.sin(2 * np.pi * f_carrier * t)
+        block = np.stack([signal, signal, signal], axis=1)
+
+        freqs, env_psd = envelope_spectrum(block, fs)
+        band = (freqs > 20) & (freqs < 400)
+        dominant = freqs[band][np.argmax(env_psd[band])]
+        assert abs(dominant - f_rep) < 10.0
+
+    def test_unmodulated_carrier_has_flat_envelope(self):
+        from repro.core.spectral import envelope_spectrum
+
+        fs, k = 4000.0, 4096
+        t = np.arange(k) / fs
+        signal = np.sin(2 * np.pi * 1500.0 * t)
+        block = np.stack([signal, signal, signal], axis=1)
+        freqs, env_psd = envelope_spectrum(block, fs)
+        band = (freqs > 20) & (freqs < 400)
+        # Envelope of a pure tone is constant: negligible in-band energy
+        # relative to the modulated case.
+        assert env_psd[band].max() < 1e-3
+
+    def test_out_of_band_carrier_is_rejected(self):
+        from repro.core.spectral import envelope_spectrum
+
+        fs, k = 4000.0, 2048
+        t = np.arange(k) / fs
+        modulation = 0.5 * (1 + np.sin(2 * np.pi * 50.0 * t))
+        low_carrier = modulation * np.sin(2 * np.pi * 100.0 * t)
+        block = np.stack([low_carrier] * 3, axis=1)
+        freqs, env_psd = envelope_spectrum(block, fs, carrier_band_hz=(1000.0, 2000.0))
+        # Only spectral leakage of the non-bin-aligned tone reaches the
+        # band; the signal's own power (~0.1 g^2) must be rejected by
+        # several orders of magnitude.
+        assert env_psd.sum() < 1e-3
+
+    def test_rejects_bad_band(self):
+        from repro.core.spectral import envelope_spectrum
+
+        block = np.zeros((128, 3))
+        with pytest.raises(ValueError):
+            envelope_spectrum(block, 4000.0, carrier_band_hz=(500.0, 100.0))
+
+    def test_bearing_defect_visible_in_envelope(self):
+        """The simulated bearing fault's defect rate appears in the
+        envelope of the resonance band."""
+        from repro.core.spectral import envelope_spectrum
+        from repro.simulation.faults import FaultInjector, FaultSpec, FaultType
+
+        injector = FaultInjector()
+        gen = np.random.default_rng(0)
+        # Synthesize an impact-like bearing signature manually: the
+        # injector's tones model spectral lines; for the envelope test we
+        # modulate a resonance by the defect rate explicitly.
+        fs, k = 4000.0, 4096
+        f0 = injector.profile.rotation_hz
+        f_defect = injector.profile.bearing_tone_ratios[0] * f0
+        t = np.arange(k) / fs
+        impacts = (np.sin(2 * np.pi * f_defect * t) > 0.95).astype(float)
+        resonance = impacts * np.sin(2 * np.pi * 1400.0 * t)
+        base = injector.synthesize(FaultSpec(FaultType.NONE), k, fs, gen, wear=0.1)
+        block = base + 0.8 * resonance[:, None]
+
+        freqs, env_psd = envelope_spectrum(block, fs)
+        band = (freqs > 30) & (freqs < 300)
+        dominant = freqs[band][np.argmax(env_psd[band])]
+        assert abs(dominant - f_defect) < 12.0

@@ -1,0 +1,45 @@
+"""Paper-scale soak test (opt-in: set REPRO_PAPER_SCALE=1).
+
+Runs the full fleet pipeline at the paper's exact measurement density —
+12 pumps, 3 months, 10-minute reports, 155,520 measurements — and checks
+the same scientific properties the fast integration tests assert.  Takes
+several minutes; skipped by default so the regular suite stays fast.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import AnalysisPipeline, PipelineConfig
+from repro.simulation import FleetConfig, FleetSimulator
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_PAPER_SCALE", "0") != "1",
+    reason="paper-scale soak test; set REPRO_PAPER_SCALE=1 to run",
+)
+
+
+def test_paper_scale_fleet_end_to_end():
+    config = FleetConfig.paper_scale(seed=7)
+    dataset = FleetSimulator(config).run()
+    assert len(dataset.measurements) == pytest.approx(155_520, rel=0.01)
+
+    pumps, service, samples = dataset.measurement_arrays()
+    _, labels = dataset.expert_labels({"A": 700, "BC": 1400, "D": 700})
+    pipeline = AnalysisPipeline(
+        PipelineConfig(
+            moving_average_window=144,  # the paper's one-day window
+            ransac_min_inliers=len(dataset.measurements) // 20,
+            ransac_residual_threshold=0.05,
+        )
+    )
+    result = pipeline.run(pumps, service, samples, labels)
+
+    valid = result.valid_mask
+    assert valid.mean() > 0.95
+    corr = np.corrcoef(result.da[valid], dataset.true_wear[valid])[0, 1]
+    assert corr > 0.7
+    accuracy = (result.zones[valid] == dataset.true_zone[valid]).mean()
+    assert accuracy > 0.7
+    assert 2 <= len(result.lifetime_models) <= 3

@@ -1,0 +1,262 @@
+"""Cross-module property-based tests.
+
+These hypothesis tests pin down invariants that span several modules —
+the contracts the system relies on end to end, beyond what any single
+module's unit tests cover.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.classify import ZONES, PeakHarmonicFeature
+from repro.core.features import psd_feature, psd_frequencies, rms_feature
+from repro.core.kde import min_error_threshold
+from repro.core.peaks import extract_harmonic_peaks
+from repro.core.severity import velocity_rms_mm_s
+from repro.core.window import moving_average, smooth_hann
+from repro.sensornet.flush import flush_transfer
+from repro.sensornet.packets import fragment_measurement, reassemble_measurement
+from repro.sensornet.radio import LossyLink
+from repro.storage.database import VibrationDatabase
+from repro.storage.records import Measurement
+from repro.storage.traces import export_npz, import_npz
+
+FS = 4000.0
+
+measurement_blocks = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(8, 128), st.just(3)),
+    elements=st.floats(-20, 20, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestFeatureInvariants:
+    @given(st.integers(0, 10_000), st.integers(8, 128), st.floats(0.1, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_da_is_amplitude_scale_invariant(self, seed, k, scale):
+        """Scaling the whole signal chain (sensor gain) leaves D_a of a
+        sample against a same-scaled exemplar unchanged — the property
+        that makes uncalibrated cheap sensors usable.
+
+        Blocks are continuous Gaussian signals: for adversarial inputs
+        with exactly-tied spectral bins, floating-point rounding can flip
+        the ordering of tied local maxima, which is out of scope (ties
+        are measure-zero for physical signals).
+        """
+        gen = np.random.default_rng(seed)
+        block = gen.normal(0.0, 1.0, size=(k, 3))
+        freqs = psd_frequencies(block.shape[0], FS)
+        base_psd = psd_feature(block)
+        scaled_psd = psd_feature(block * scale)
+        # Disable the top-k and significance *selection* (num_peaks beyond
+        # any possible candidate count, significance floor off): selection
+        # of near-equal candidates can legitimately flip under FP rounding;
+        # the invariance claim is about the normalized metric itself.
+        kwargs = {"window_size": 4, "num_peaks": 64, "min_significance": 0.0}
+        peaks_base = extract_harmonic_peaks(base_psd, freqs, **kwargs)
+        peaks_scaled = extract_harmonic_peaks(scaled_psd, freqs, **kwargs)
+        # Same peak locations...
+        assert np.allclose(peaks_base.frequencies, peaks_scaled.frequencies)
+        # ...and distance from a scaled reference equals the unscaled one.
+        from repro.core.distance import peak_harmonic_distance
+
+        ref = extract_harmonic_peaks(base_psd * 0.7, freqs, **kwargs)
+        ref_scaled = extract_harmonic_peaks(scaled_psd * 0.7, freqs, **kwargs)
+        d1 = peak_harmonic_distance(peaks_base, ref)
+        d2 = peak_harmonic_distance(peaks_scaled, ref_scaled)
+        assert d1 == pytest.approx(d2, rel=1e-6, abs=1e-9)
+
+    @given(measurement_blocks)
+    @settings(max_examples=40, deadline=None)
+    def test_velocity_rms_is_non_negative_and_finite(self, block):
+        v = velocity_rms_mm_s(block, FS, band_hz=(10.0, 1999.0))
+        assert np.isfinite(v)
+        assert v >= 0
+
+    @given(measurement_blocks, st.floats(0.1, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_rms_scales_linearly(self, block, scale):
+        assert rms_feature(block * scale) == pytest.approx(
+            scale * rms_feature(block), rel=1e-9, abs=1e-12
+        )
+
+
+class TestSmoothingInvariants:
+    @given(
+        arrays(np.float64, st.integers(3, 100),
+               elements=st.floats(-100, 100, allow_nan=False)),
+        st.integers(1, 32),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_smoothing_commutes_with_offsets(self, series, hann_window, ma_window):
+        """Adding a constant before smoothing equals adding it after —
+        so sensor offsets cannot leak into smoothed feature dynamics."""
+        offset = 5.0
+        a = smooth_hann(series + offset, hann_window)
+        b = smooth_hann(series, hann_window) + offset
+        assert np.allclose(a, b, atol=1e-9)
+        c = moving_average(series + offset, ma_window)
+        d = moving_average(series, ma_window) + offset
+        assert np.allclose(c, d, atol=1e-9)
+
+
+class TestTransportInvariants:
+    @given(
+        st.integers(4, 64),
+        st.floats(0.0, 0.5),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flush_roundtrip_is_lossless(self, k, loss, seed):
+        """Whatever survives Flush is byte-identical to what was sent."""
+        gen = np.random.default_rng(seed)
+        counts = gen.integers(-(2**15), 2**15 - 1, size=(k, 3), dtype=np.int16)
+        packets = fragment_measurement(1, 2, counts)
+        stats, received = flush_transfer(
+            packets, LossyLink(loss, seed=seed), max_rounds=400
+        )
+        assert stats.success
+        assert np.array_equal(reassemble_measurement(received), counts)
+
+
+class TestStorageInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),        # pump
+                st.integers(0, 50),       # measurement id
+                st.floats(0, 100, allow_nan=False),  # day
+            ),
+            min_size=1,
+            max_size=20,
+            unique_by=lambda t: (t[0], t[1]),
+        ),
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0, 100, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_time_range_queries_partition_the_store(self, specs, a, b):
+        lo, hi = min(a, b), max(a, b)
+        gen = np.random.default_rng(0)
+        with VibrationDatabase() as db:
+            for pump, mid, day in specs:
+                db.measurements.add(
+                    Measurement(pump, mid, day, day, gen.normal(size=(4, 3)))
+                )
+            total = db.measurements.count()
+            inside = db.measurements.query(lo, hi)
+            before = db.measurements.query(end_day=lo)
+            after = db.measurements.query(start_day=hi)
+            assert len(inside) + len(before) + len(after) == total
+
+    @given(st.integers(1, 8), st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_npz_roundtrip_identity(self, n, seed):
+        import tempfile
+        from pathlib import Path
+
+        gen = np.random.default_rng(seed)
+        originals = [
+            Measurement(
+                pump_id=int(gen.integers(0, 5)),
+                measurement_id=i,
+                timestamp_day=float(gen.uniform(0, 100)),
+                service_day=float(gen.uniform(0, 100)),
+                samples=gen.normal(size=(int(gen.integers(2, 40)), 3)),
+            )
+            for i in range(n)
+        ]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "corpus.npz"
+            restored = import_npz(export_npz(originals, path))
+        assert len(restored) == n
+        for a, b in zip(originals, restored):
+            assert np.allclose(a.samples, b.samples, atol=1e-5)
+            assert a.pump_id == b.pump_id
+
+
+class TestClassifierInvariants:
+    @given(
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=3, max_size=30),
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=3, max_size=30),
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=3, max_size=30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ordered_thresholds_are_ordered(self, low, mid, high):
+        """Whatever the training data, the two learned boundaries never
+        invert (the zone order A < BC < D is structural)."""
+        from repro.core.classify import OrderedThresholdClassifier
+
+        values = np.asarray(low + mid + high)
+        labels = np.asarray(
+            ["A"] * len(low) + ["BC"] * len(mid) + ["D"] * len(high), dtype=object
+        )
+        clf = OrderedThresholdClassifier().fit(values, labels)
+        t1, t2 = clf.thresholds_
+        assert t1 <= t2 + 1e-12
+        # And predictions always land in the configured label set.
+        pred = clf.predict(np.linspace(-1, 2, 20))
+        assert set(pred) <= set(ZONES)
+
+
+class TestSchedulingInvariants:
+    @given(
+        st.lists(st.floats(-30, 400, allow_nan=False), min_size=1, max_size=20),
+        st.integers(1, 5),
+        st.floats(1.0, 30.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_plans_respect_capacity_and_never_schedule_late(
+        self, ruls, capacity, period_days
+    ):
+        from repro.analysis.scheduling import MaintenanceScheduler
+        from repro.core.rul import RULPrediction
+
+        predictions = {
+            i: RULPrediction(
+                model_index=0, slope=0.001, intercept=0.05,
+                current_service_days=0.0, crossing_service_days=r, rul_days=r,
+            )
+            for i, r in enumerate(ruls)
+        }
+        scheduler = MaintenanceScheduler(
+            period_days=period_days,
+            capacity_per_period=capacity,
+            safety_margin_days=5.0,
+        )
+        plan = scheduler.plan(predictions, horizon_periods=100)
+        by_period = plan.by_period()
+        # Capacity respected everywhere except the period-0 escape hatch.
+        for period, items in by_period.items():
+            if period != 0:
+                assert len(items) <= capacity
+        # No pump is ever scheduled after its safety-adjusted target.
+        for item in plan.replacements:
+            slack = item.predicted_rul_days - 5.0
+            target = int(slack // period_days) if slack > 0 else 0
+            assert item.period <= max(target, 0)
+
+    @given(
+        st.lists(st.floats(30, 800, allow_nan=False), min_size=2, max_size=50),
+        st.floats(30, 400),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cost_policies_conserve_pump_count(self, lives, interval):
+        from repro.analysis.cost import CostModel
+
+        model = CostModel()
+        lives_arr = np.asarray(lives)
+        baseline = model.run_fixed_period_policy(lives_arr, interval)
+        predictive = model.run_predictive_policy(
+            lives_arr, lives_arr, hazard_alert_fraction=0.85
+        )
+        assert len(baseline) == len(predictive) == len(lives)
+        # Achieved life never exceeds true life under either policy.
+        for outcome, life in zip(baseline, lives):
+            assert outcome.achieved_life_days <= life + 1e-9
+        for outcome, life in zip(predictive, lives):
+            assert outcome.achieved_life_days <= life + 1e-9

@@ -1,0 +1,120 @@
+"""Tests for the energy model and Fig. 5 tradeoff (energy.py)."""
+
+import numpy as np
+import pytest
+
+from repro.sensornet.energy import BatteryTracker, EnergyConfig, EnergyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+class TestEnergyConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            EnergyConfig(battery_joules=0)
+        with pytest.raises(ValueError):
+            EnergyConfig(active_power_w=0)
+        with pytest.raises(ValueError):
+            EnergyConfig(radio_window_s=-1)
+        with pytest.raises(ValueError):
+            EnergyConfig(samples_per_measurement=0)
+
+
+class TestEnergyModel:
+    def test_sensing_window_inversely_proportional_to_rate(self, model):
+        assert model.sensing_window_s(150.0) == pytest.approx(1024 / 150)
+        assert model.sensing_window_s(22000.0) == pytest.approx(1024 / 22000)
+
+    def test_measurement_energy_decreases_with_sampling_rate(self, model):
+        """Sec. II: lower sampling rate = longer active window = more energy."""
+        rates = [150.0, 1000.0, 4000.0, 22000.0]
+        energies = [model.measurement_energy_j(r) for r in rates]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_paper_anchor_3yr_150hz(self, model):
+        """Fig. 5's worked example: ~10.2 h report period at 150 Hz / 3 yr."""
+        hours = model.report_period_lower_bound_s(150.0, 3.0) / 3600.0
+        assert hours == pytest.approx(10.2, rel=0.1)
+
+    def test_paper_anchor_2yr_150hz(self, model):
+        """And ~5.2 h at 150 Hz for a 2-year target."""
+        hours = model.report_period_lower_bound_s(150.0, 2.0) / 3600.0
+        assert hours == pytest.approx(5.2, rel=0.1)
+
+    def test_paper_anchor_measurement_budgets(self, model):
+        """2,576 measurements over 3 years; 3,650 over 2 years (Sec. II)."""
+        assert model.measurements_in_lifetime(150.0, 3.0) == pytest.approx(2576, rel=0.1)
+        assert model.measurements_in_lifetime(150.0, 2.0) == pytest.approx(3650, rel=0.1)
+
+    def test_longer_target_life_demands_longer_report_period(self, model):
+        bounds = [model.report_period_lower_bound_s(150.0, y) for y in (1, 2, 3, 4)]
+        assert bounds == sorted(bounds)
+
+    def test_report_bound_decreases_with_sampling_rate(self, model):
+        """The Fig. 5 curve shape: bound falls as sampling frequency rises."""
+        bounds = [
+            model.report_period_lower_bound_s(fs, 3.0)
+            for fs in np.logspace(np.log10(150), np.log10(22000), 10)
+        ]
+        assert all(b2 < b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_infeasible_lifetime_returns_inf(self):
+        tiny = EnergyModel(EnergyConfig(battery_joules=1.0))
+        assert tiny.report_period_lower_bound_s(150.0, 3.0) == np.inf
+        assert tiny.measurements_in_lifetime(150.0, 3.0) == 0.0
+
+    def test_lifetime_inverse_consistency(self, model):
+        """lifetime(fs, bound(fs, target)) == target."""
+        for fs in (150.0, 4000.0):
+            bound = model.report_period_lower_bound_s(fs, 3.0)
+            assert model.lifetime_years(fs, bound) == pytest.approx(3.0, rel=1e-6)
+
+    def test_tradeoff_curve_in_hours(self, model):
+        rates = np.asarray([150.0, 4000.0])
+        curve = model.tradeoff_curve(rates, 3.0)
+        assert curve.shape == (2,)
+        assert curve[0] == pytest.approx(
+            model.report_period_lower_bound_s(150.0, 3.0) / 3600.0
+        )
+
+    def test_rejects_bad_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.sensing_window_s(0)
+        with pytest.raises(ValueError):
+            model.report_period_lower_bound_s(150.0, 0)
+        with pytest.raises(ValueError):
+            model.lifetime_years(150.0, 0)
+
+
+class TestBatteryTracker:
+    def test_fresh_battery_is_full(self):
+        tracker = BatteryTracker()
+        assert tracker.fraction_remaining() == 1.0
+        assert not tracker.depleted
+
+    def test_sleep_drains_slowly(self):
+        tracker = BatteryTracker()
+        tracker.sleep(24 * 3600.0)
+        assert 0.99 < tracker.fraction_remaining() < 1.0
+
+    def test_measurements_drain_faster_at_low_rate(self):
+        low = BatteryTracker()
+        high = BatteryTracker()
+        for _ in range(10):
+            low.measure(150.0)
+            high.measure(22000.0)
+        assert low.remaining_j < high.remaining_j
+
+    def test_depletion(self):
+        # One 150 Hz measurement costs ~0.78 J; a 0.5 J battery dies on it.
+        tracker = BatteryTracker(EnergyConfig(battery_joules=0.5))
+        tracker.measure(150.0)
+        assert tracker.depleted
+        assert tracker.fraction_remaining() == 0.0
+
+    def test_rejects_negative_sleep(self):
+        with pytest.raises(ValueError):
+            BatteryTracker().sleep(-1.0)

@@ -1,0 +1,133 @@
+"""Tests for the Flush reliable bulk transport (flush.py)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensornet.flush import (
+    FlushReceiver,
+    best_effort_transfer,
+    flush_transfer,
+)
+from repro.sensornet.packets import fragment_measurement, reassemble_measurement
+from repro.sensornet.radio import LossyLink
+
+
+def make_packets(k=256, seed=0):
+    gen = np.random.default_rng(seed)
+    counts = gen.integers(-100, 100, size=(k, 3), dtype=np.int16)
+    return counts, fragment_measurement(0, 0, counts)
+
+
+class TestFlushReceiver:
+    def test_tracks_missing_fragments(self):
+        _, packets = make_packets()
+        receiver = FlushReceiver(total=packets[0].total)
+        receiver.accept(packets[0])
+        receiver.accept(packets[2])
+        missing = receiver.missing()
+        assert 1 in missing
+        assert 0 not in missing
+        assert not receiver.complete
+
+    def test_complete_when_all_arrive(self):
+        _, packets = make_packets()
+        receiver = FlushReceiver(total=packets[0].total)
+        for p in packets:
+            receiver.accept(p)
+        assert receiver.complete
+        assert receiver.missing() == []
+
+    def test_rejects_bad_total(self):
+        with pytest.raises(ValueError):
+            FlushReceiver(total=0)
+
+
+class TestFlushTransfer:
+    def test_lossless_link_completes_in_one_round(self):
+        counts, packets = make_packets()
+        stats, received = flush_transfer(packets, LossyLink(0.0, seed=0))
+        assert stats.success
+        assert stats.rounds == 1
+        assert stats.data_transmissions == len(packets)
+        assert np.array_equal(reassemble_measurement(received), counts)
+
+    def test_recovers_under_moderate_loss(self):
+        counts, packets = make_packets(seed=1)
+        stats, received = flush_transfer(packets, LossyLink(0.3, seed=1))
+        assert stats.success
+        assert stats.rounds > 1
+        assert np.array_equal(reassemble_measurement(received), counts)
+
+    def test_retransmits_only_missing_fragments(self):
+        """NACK-driven selective repeat: total transmissions stay near
+        n / (1 - loss), far below full-resend-per-round."""
+        _, packets = make_packets(seed=2)
+        n = len(packets)
+        loss = 0.3
+        stats, _ = flush_transfer(packets, LossyLink(loss, seed=2), max_rounds=50)
+        assert stats.success
+        assert stats.data_transmissions < 2.5 * n / (1 - loss)
+
+    def test_gives_up_after_round_budget(self):
+        _, packets = make_packets(seed=3)
+        stats, _ = flush_transfer(packets, LossyLink(1.0, seed=3), max_rounds=5)
+        assert not stats.success
+        assert stats.rounds == 5
+        assert stats.delivered == 0
+
+    def test_survives_lossy_nack_channel(self):
+        counts, packets = make_packets(seed=4)
+        data_link = LossyLink(0.2, seed=4)
+        nack_link = LossyLink(0.8, seed=5)  # NACKs usually lost
+        stats, received = flush_transfer(
+            packets, data_link, max_rounds=100, nack_link=nack_link
+        )
+        assert stats.success
+        assert np.array_equal(reassemble_measurement(received), counts)
+
+    def test_rejects_bad_inputs(self):
+        _, packets = make_packets()
+        with pytest.raises(ValueError):
+            flush_transfer([], LossyLink(0.0))
+        with pytest.raises(ValueError):
+            flush_transfer(packets, LossyLink(0.0), max_rounds=0)
+
+    @given(st.floats(0.0, 0.6), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_always_succeeds_when_loss_below_one(self, loss, seed):
+        """Reliability property: with any loss < 1 and a generous round
+        budget, Flush delivers the complete measurement."""
+        counts, packets = make_packets(k=64, seed=seed)
+        stats, received = flush_transfer(
+            packets, LossyLink(loss, seed=seed), max_rounds=300
+        )
+        assert stats.success
+        assert np.array_equal(reassemble_measurement(received), counts)
+
+
+class TestBestEffortBaseline:
+    def test_lossless_best_effort_succeeds(self):
+        counts, packets = make_packets(seed=6)
+        stats, received = best_effort_transfer(packets, LossyLink(0.0, seed=0))
+        assert stats.success
+        assert np.array_equal(reassemble_measurement(received), counts)
+
+    def test_best_effort_collapses_under_loss(self):
+        """The paper's motivation for Flush: losing any of 120 packets
+        loses the measurement, so even 5%% loss is fatal most of the time."""
+        gen = np.random.default_rng(7)
+        successes = 0
+        for trial in range(50):
+            counts = gen.integers(-100, 100, size=(1024, 3), dtype=np.int16)
+            packets = fragment_measurement(0, trial, counts)
+            stats, _ = best_effort_transfer(packets, LossyLink(0.05, seed=trial))
+            successes += stats.success
+        assert successes / 50 < 0.05  # (1 - 0.05)^120 ~ 0.2%
+
+    def test_best_effort_single_round(self):
+        _, packets = make_packets(seed=8)
+        stats, _ = best_effort_transfer(packets, LossyLink(0.5, seed=9))
+        assert stats.rounds == 1
+        assert stats.nack_transmissions == 0

@@ -1,0 +1,117 @@
+"""Tests for the gateway bridge (gateway.py)."""
+
+import numpy as np
+import pytest
+
+from repro.sensornet.gateway import SECONDS_PER_DAY, GatewayBridge, SensorCalibration
+from repro.sensornet.network import DeliveredMeasurement
+from repro.storage.database import VibrationDatabase
+
+
+def delivered(sensor_id=0, mid=3, wakeup_s=2 * SECONDS_PER_DAY, seed=0):
+    gen = np.random.default_rng(seed)
+    counts = gen.integers(-1000, 1000, size=(64, 3), dtype=np.int16)
+    return DeliveredMeasurement(
+        sensor_id=sensor_id,
+        measurement_id=mid,
+        wakeup_time_s=wakeup_s,
+        counts=counts,
+    )
+
+
+@pytest.fixture()
+def bridge():
+    return GatewayBridge(
+        {
+            0: SensorCalibration(pump_id=10, scale_g_per_count=0.003, install_day=1.0),
+            1: SensorCalibration(pump_id=11, scale_g_per_count=0.003),
+        }
+    )
+
+
+class TestCalibration:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SensorCalibration(pump_id=0, scale_g_per_count=0.0)
+        with pytest.raises(ValueError):
+            SensorCalibration(pump_id=0, scale_g_per_count=0.1, sampling_rate_hz=0)
+
+    def test_bridge_requires_calibrations(self):
+        with pytest.raises(ValueError):
+            GatewayBridge({})
+
+
+class TestConversion:
+    def test_counts_converted_to_g(self, bridge):
+        record = bridge.to_measurement(delivered())
+        raw = delivered().counts
+        assert np.allclose(record.samples, raw.astype(float) * 0.003)
+
+    def test_identity_and_timing(self, bridge):
+        record = bridge.to_measurement(delivered(sensor_id=0, mid=7))
+        assert record.pump_id == 10
+        assert record.measurement_id == 7
+        assert record.timestamp_day == pytest.approx(2.0)
+        # Pump installed at day 1 -> one day of service at day 2.
+        assert record.service_day == pytest.approx(1.0)
+
+    def test_service_day_never_negative(self, bridge):
+        record = bridge.to_measurement(delivered(wakeup_s=0.0))
+        assert record.service_day == 0.0
+
+    def test_unknown_sensor_rejected(self, bridge):
+        with pytest.raises(KeyError, match="calibration"):
+            bridge.to_measurement(delivered(sensor_id=99))
+
+
+class TestIngest:
+    def test_batch_lands_in_database(self, bridge):
+        with VibrationDatabase() as db:
+            batch = [delivered(mid=i, wakeup_s=i * 600.0) for i in range(5)]
+            stored = bridge.ingest(batch, db)
+            assert stored == 5
+            assert db.measurements.count() == 5
+            records = db.measurements.query()
+            assert all(r.pump_id == 10 for r in records)
+
+    def test_bad_batch_rejected_atomically(self, bridge):
+        with VibrationDatabase() as db:
+            batch = [delivered(mid=0), delivered(sensor_id=99, mid=1)]
+            with pytest.raises(KeyError):
+                bridge.ingest(batch, db)
+            assert db.measurements.count() == 0
+
+
+class TestEndToEnd:
+    def test_network_to_database_to_features(self):
+        """Motes -> Flush -> gateway -> SQLite -> PSD features."""
+        from repro.core.features import psd_feature
+        from repro.sensornet.energy import EnergyConfig
+        from repro.sensornet.mote import Mote
+        from repro.sensornet.network import SensorNetworkSimulator
+        from repro.sensornet.radio import LossyLink
+        from repro.sensornet.scheduler import WakeupScheduler
+
+        gen = np.random.default_rng(2)
+
+        def source(mid):
+            return gen.integers(-500, 500, size=(128, 3), dtype=np.int16)
+
+        scheduler = WakeupScheduler(report_period_s=600.0)
+        simulator = SensorNetworkSimulator(scheduler)
+        simulator.add_mote(
+            Mote(0, LossyLink(0.1, seed=0), source,
+                 energy=EnergyConfig(battery_joules=3864.0))
+        )
+        delivered_batch, stats = simulator.run(num_rounds=4)
+        assert stats.recovery_rate == 1.0
+
+        bridge = GatewayBridge(
+            {0: SensorCalibration(pump_id=0, scale_g_per_count=100.0 / 32767)}
+        )
+        with VibrationDatabase() as db:
+            bridge.ingest(delivered_batch, db)
+            records = db.measurements.query()
+            assert len(records) == 4
+            psd = psd_feature(records[0].samples)
+            assert np.isfinite(psd).all()

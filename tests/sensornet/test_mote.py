@@ -1,0 +1,103 @@
+"""Tests for the mote state machine (mote.py)."""
+
+import numpy as np
+import pytest
+
+from repro.sensornet.energy import EnergyConfig
+from repro.sensornet.mote import Mote, MoteState
+from repro.sensornet.packets import reassemble_measurement
+from repro.sensornet.radio import LossyLink
+
+
+def counts_source(k=128, seed=0):
+    gen = np.random.default_rng(seed)
+
+    def source(measurement_id: int) -> np.ndarray:
+        return gen.integers(-100, 100, size=(k, 3), dtype=np.int16)
+
+    return source
+
+
+def make_mote(loss=0.0, battery_j=3864.0, seed=0):
+    return Mote(
+        sensor_id=1,
+        link=LossyLink(loss, seed=seed),
+        measurement_source=counts_source(seed=seed),
+        sampling_rate_hz=4000.0,
+        energy=EnergyConfig(battery_joules=battery_j),
+    )
+
+
+class TestLifecycle:
+    def test_starts_asleep_and_requires_boot(self):
+        mote = make_mote()
+        assert mote.state is MoteState.SLEEP
+        with pytest.raises(RuntimeError, match="boot"):
+            mote.execute_slot()
+
+    def test_boot_returns_sensor_id(self):
+        mote = make_mote()
+        assert mote.boot() == 1
+
+    def test_slot_produces_complete_measurement_on_clean_link(self):
+        mote = make_mote()
+        mote.boot()
+        outcome = mote.execute_slot()
+        assert outcome is not None
+        assert outcome.flush.success
+        block = reassemble_measurement(outcome.packets)
+        assert block.shape == (128, 3)
+
+    def test_measurement_ids_increment(self):
+        mote = make_mote()
+        mote.boot()
+        ids = [mote.execute_slot().measurement_id for _ in range(3)]
+        assert ids == [0, 1, 2]
+
+    def test_returns_to_sleep_after_slot(self):
+        mote = make_mote()
+        mote.boot()
+        mote.execute_slot()
+        assert mote.state is MoteState.SLEEP
+
+    def test_battery_drains_per_slot(self):
+        mote = make_mote()
+        mote.boot()
+        before = mote.battery.remaining_j
+        mote.execute_slot(sleep_seconds_since_last=3600.0)
+        assert mote.battery.remaining_j < before
+
+    def test_depleted_battery_kills_mote(self):
+        mote = make_mote(battery_j=0.3)  # less than one measurement
+        mote.boot()
+        first = mote.execute_slot()
+        assert first is not None  # the killing measurement still runs
+        second = mote.execute_slot()
+        assert second is None
+        assert mote.state is MoteState.DEAD
+
+    def test_dead_mote_cannot_reboot(self):
+        mote = make_mote(battery_j=0.3)
+        mote.boot()
+        mote.execute_slot()
+        mote.execute_slot()
+        with pytest.raises(RuntimeError, match="dead"):
+            mote.boot()
+
+    def test_lossy_link_can_fail_transfer_but_mote_survives(self):
+        mote = Mote(
+            sensor_id=2,
+            link=LossyLink(1.0, seed=1),
+            measurement_source=counts_source(seed=1),
+            max_flush_rounds=3,
+        )
+        mote.boot()
+        outcome = mote.execute_slot()
+        assert outcome is not None
+        assert not outcome.flush.success
+        assert not outcome.heartbeat_delivered
+        assert mote.state is MoteState.SLEEP
+
+    def test_rejects_bad_sampling_rate(self):
+        with pytest.raises(ValueError):
+            Mote(1, LossyLink(0.0), counts_source(), sampling_rate_hz=0.0)

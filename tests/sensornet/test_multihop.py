@@ -1,0 +1,90 @@
+"""Tests for multihop Flush (multihop.py)."""
+
+import numpy as np
+import pytest
+
+from repro.sensornet.multihop import MultihopPath, multihop_flush_transfer
+from repro.sensornet.packets import fragment_measurement, reassemble_measurement
+from repro.sensornet.radio import LossyLink
+
+
+def make_packets(k=128, seed=0):
+    gen = np.random.default_rng(seed)
+    counts = gen.integers(-100, 100, size=(k, 3), dtype=np.int16)
+    return counts, fragment_measurement(0, 0, counts)
+
+
+class TestMultihopPath:
+    def test_uniform_factory(self):
+        path = MultihopPath.uniform(4, 0.1)
+        assert path.hop_count == 4
+        assert path.end_to_end_delivery_probability == pytest.approx(0.9**4)
+
+    def test_lossless_path_always_delivers(self):
+        path = MultihopPath.uniform(5, 0.0)
+        assert all(path.transmit_forward() for _ in range(100))
+        assert all(path.transmit_reverse() for _ in range(100))
+
+    def test_end_to_end_loss_compounds(self):
+        path = MultihopPath.uniform(3, 0.2, seed=1)
+        outcomes = [path.transmit_forward() for _ in range(5000)]
+        assert np.mean(outcomes) == pytest.approx(0.8**3, abs=0.03)
+
+    def test_rejects_empty_path(self):
+        with pytest.raises(ValueError):
+            MultihopPath([])
+        with pytest.raises(ValueError):
+            MultihopPath.uniform(0, 0.1)
+
+
+class TestMultihopFlush:
+    def test_single_hop_reduces_to_flush(self):
+        counts, packets = make_packets()
+        path = MultihopPath([LossyLink(0.0, seed=0)])
+        stats, received = multihop_flush_transfer(packets, path)
+        assert stats.success
+        assert stats.rounds == 1
+        assert stats.hop_count == 1
+        assert np.array_equal(reassemble_measurement(received), counts)
+
+    def test_recovers_over_three_lossy_hops(self):
+        counts, packets = make_packets(seed=1)
+        path = MultihopPath.uniform(3, 0.15, seed=2)
+        stats, received = multihop_flush_transfer(packets, path, max_rounds=100)
+        assert stats.success
+        assert np.array_equal(reassemble_measurement(received), counts)
+
+    def test_deeper_paths_cost_more_rounds(self):
+        """More hops -> lower per-attempt delivery -> more recovery work."""
+        def rounds_for(hops, seed):
+            _, packets = make_packets(seed=seed)
+            path = MultihopPath.uniform(hops, 0.2, seed=seed)
+            stats, _ = multihop_flush_transfer(packets, path, max_rounds=200)
+            assert stats.success
+            return stats.data_transmissions
+
+        shallow = np.mean([rounds_for(1, s) for s in range(5)])
+        deep = np.mean([rounds_for(4, s + 50) for s in range(5)])
+        assert deep > shallow
+
+    def test_link_transmissions_accounted(self):
+        _, packets = make_packets(seed=3)
+        path = MultihopPath.uniform(2, 0.0, seed=4)
+        stats, _ = multihop_flush_transfer(packets, path)
+        # Every end-to-end send touches both links once (lossless).
+        assert stats.link_transmissions == 2 * stats.data_transmissions + 0
+
+    def test_dead_path_gives_up(self):
+        _, packets = make_packets(seed=5)
+        path = MultihopPath.uniform(2, 1.0, seed=6)
+        stats, _ = multihop_flush_transfer(packets, path, max_rounds=3)
+        assert not stats.success
+        assert stats.rounds == 3
+
+    def test_rejects_bad_inputs(self):
+        path = MultihopPath.uniform(1, 0.0)
+        with pytest.raises(ValueError):
+            multihop_flush_transfer([], path)
+        _, packets = make_packets()
+        with pytest.raises(ValueError):
+            multihop_flush_transfer(packets, path, max_rounds=0)

@@ -1,0 +1,148 @@
+"""Tests for the end-to-end collection simulation (network.py)."""
+
+import numpy as np
+import pytest
+
+from repro.sensornet.energy import EnergyConfig
+from repro.sensornet.mote import Mote
+from repro.sensornet.network import CollectionStats, SensorNetworkSimulator
+from repro.sensornet.radio import LossyLink
+from repro.sensornet.scheduler import WakeupScheduler
+
+
+def build_network(num_motes=3, loss=0.0, battery_j=3864.0, k=64, seed=0):
+    scheduler = WakeupScheduler(report_period_s=600.0, slot_width_s=30.0)
+    simulator = SensorNetworkSimulator(scheduler)
+    for sensor_id in range(num_motes):
+        gen = np.random.default_rng(seed + sensor_id)
+
+        def source(mid, gen=gen):
+            return gen.integers(-100, 100, size=(k, 3), dtype=np.int16)
+
+        mote = Mote(
+            sensor_id=sensor_id,
+            link=LossyLink(loss, seed=seed + sensor_id),
+            measurement_source=source,
+            energy=EnergyConfig(battery_joules=battery_j),
+        )
+        simulator.add_mote(mote)
+    return simulator, scheduler
+
+
+class TestCollection:
+    def test_clean_network_delivers_everything(self):
+        simulator, _ = build_network(num_motes=3, loss=0.0)
+        delivered, stats = simulator.run(num_rounds=5)
+        assert stats.attempted == 15
+        assert stats.delivered == 15
+        assert stats.failed == 0
+        assert stats.recovery_rate == 1.0
+        assert len(delivered) == 15
+
+    def test_lossy_network_still_recovers_via_flush(self):
+        simulator, _ = build_network(num_motes=3, loss=0.25, seed=1)
+        delivered, stats = simulator.run(num_rounds=5)
+        assert stats.recovery_rate == 1.0
+        # Retransmissions show up as extra data packets.
+        assert stats.data_transmissions > stats.delivered * 64 * 6 / 52
+
+    def test_measurements_carry_identity_and_order(self):
+        simulator, _ = build_network(num_motes=2)
+        delivered, _ = simulator.run(num_rounds=3)
+        by_sensor = {}
+        for record in delivered:
+            by_sensor.setdefault(record.sensor_id, []).append(record.measurement_id)
+        assert by_sensor[0] == [0, 1, 2]
+        assert by_sensor[1] == [0, 1, 2]
+
+    def test_wakeup_times_respect_slots(self):
+        simulator, scheduler = build_network(num_motes=2)
+        delivered, _ = simulator.run(num_rounds=2)
+        for record in delivered:
+            entry = scheduler.entry(record.sensor_id)
+            rounds = (record.wakeup_time_s - entry.offset_s) / entry.report_period_s
+            assert rounds == pytest.approx(round(rounds))
+
+    def test_dead_motes_stop_producing(self):
+        # Battery for roughly one measurement only.
+        simulator, scheduler = build_network(num_motes=2, battery_j=0.4)
+        delivered, stats = simulator.run(num_rounds=4)
+        assert stats.dead_motes > 0
+        assert len(delivered) < 8
+        assert len(scheduler.dead_sensors(now_s=4 * 600.0)) > 0
+
+    def test_heartbeats_keep_liveness_fresh(self):
+        simulator, scheduler = build_network(num_motes=2)
+        simulator.run(num_rounds=4)
+        assert scheduler.dead_sensors(now_s=4 * 600.0) == []
+
+    def test_rejects_bad_round_count(self):
+        simulator, _ = build_network()
+        with pytest.raises(ValueError):
+            simulator.run(0)
+
+
+class TestCollectionStats:
+    def test_recovery_rate_of_empty_run(self):
+        assert CollectionStats().recovery_rate == 0.0
+
+    def test_recovery_rate_ratio(self):
+        stats = CollectionStats(attempted=10, delivered=7, failed=3)
+        assert stats.recovery_rate == pytest.approx(0.7)
+
+
+class TestSlotContention:
+    @staticmethod
+    def build(num_motes, period_s, slot_width_s, contention_loss=0.25, seed=0):
+        scheduler = WakeupScheduler(report_period_s=period_s, slot_width_s=slot_width_s)
+        simulator = SensorNetworkSimulator(scheduler, contention_loss=contention_loss)
+        for sensor_id in range(num_motes):
+            gen = np.random.default_rng(seed + sensor_id)
+
+            def source(mid, gen=gen):
+                return gen.integers(-100, 100, size=(64, 3), dtype=np.int16)
+
+            simulator.add_mote(
+                Mote(sensor_id, LossyLink(0.0, seed=seed + sensor_id), source,
+                     energy=EnergyConfig(battery_joules=3864.0))
+            )
+        return simulator
+
+    def test_uncontended_fleet_has_no_penalty(self):
+        # 4 motes, 4 distinct slots in the period.
+        simulator = self.build(4, period_s=600.0, slot_width_s=30.0)
+        delivered, stats = simulator.run(num_rounds=3)
+        assert stats.recovery_rate == 1.0
+        # Lossless links, no contention: one transmission per packet.
+        per_packet = stats.data_transmissions / stats.delivered
+        assert per_packet == pytest.approx(64 * 6 / 51.2, rel=0.1)
+
+    def test_slot_collision_costs_retransmissions_not_data(self):
+        # 4 motes forced onto 2 slots (period holds only 2 slot widths).
+        simulator = self.build(4, period_s=60.0, slot_width_s=30.0, seed=1)
+        delivered, stats = simulator.run(num_rounds=3)
+        # Flush still recovers everything...
+        assert stats.recovery_rate == 1.0
+        # ...but contention shows up as retransmission overhead.
+        per_packet = stats.data_transmissions / stats.delivered
+        assert per_packet > 1.15 * (64 * 6 / 51.2)
+
+    def test_contention_set_detection(self):
+        simulator = self.build(4, period_s=60.0, slot_width_s=30.0)
+        contended = simulator._contended_sensors()
+        assert contended == {0, 1, 2, 3}
+        simulator2 = self.build(4, period_s=600.0, slot_width_s=30.0)
+        assert simulator2._contended_sensors() == set()
+
+    def test_base_loss_restored_after_round(self):
+        simulator = self.build(2, period_s=30.0, slot_width_s=30.0)
+        motes = list(simulator._motes.values())
+        before = [m.link.loss_probability for m in motes]
+        simulator.run(num_rounds=2)
+        after = [m.link.loss_probability for m in motes]
+        assert before == after
+
+    def test_rejects_bad_contention_loss(self):
+        scheduler = WakeupScheduler(report_period_s=600.0)
+        with pytest.raises(ValueError):
+            SensorNetworkSimulator(scheduler, contention_loss=1.0)

@@ -1,0 +1,113 @@
+"""Tests for measurement fragmentation/reassembly (packets.py)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensornet.packets import (
+    BYTES_PER_SAMPLE,
+    MEASUREMENT_BYTES,
+    PACKETS_PER_MEASUREMENT,
+    DataPacket,
+    decode_counts,
+    encode_counts,
+    fragment_measurement,
+    reassemble_measurement,
+)
+
+
+def random_counts(k=1024, seed=0):
+    gen = np.random.default_rng(seed)
+    return gen.integers(-32768, 32767, size=(k, 3), dtype=np.int16)
+
+
+class TestConstants:
+    def test_paper_framing(self):
+        """1024 samples x 3 axes x 2 bytes = 6 KB shipped as 120 packets."""
+        assert MEASUREMENT_BYTES == 6 * 1024
+        assert PACKETS_PER_MEASUREMENT == 120
+        assert BYTES_PER_SAMPLE == 6
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        counts = random_counts()
+        assert np.array_equal(decode_counts(encode_counts(counts)), counts)
+
+    def test_encoded_size(self):
+        assert len(encode_counts(random_counts())) == MEASUREMENT_BYTES
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            encode_counts(np.zeros((4, 2), dtype=np.int16))
+
+    def test_decode_rejects_ragged_blob(self):
+        with pytest.raises(ValueError):
+            decode_counts(b"12345")
+
+
+class TestFragmentation:
+    def test_default_fragment_count_matches_paper(self):
+        packets = fragment_measurement(1, 2, random_counts())
+        assert len(packets) == PACKETS_PER_MEASUREMENT
+
+    def test_fragments_carry_identity(self):
+        packets = fragment_measurement(3, 7, random_counts())
+        assert all(p.sensor_id == 3 and p.measurement_id == 7 for p in packets)
+        assert [p.seq for p in packets] == list(range(len(packets)))
+
+    def test_reassembly_roundtrip(self):
+        counts = random_counts(seed=1)
+        packets = fragment_measurement(0, 0, counts)
+        assert np.array_equal(reassemble_measurement(packets), counts)
+
+    def test_reassembly_order_independent(self):
+        counts = random_counts(seed=2)
+        packets = fragment_measurement(0, 0, counts)
+        gen = np.random.default_rng(3)
+        shuffled = [packets[i] for i in gen.permutation(len(packets))]
+        assert np.array_equal(reassemble_measurement(shuffled), counts)
+
+    def test_reassembly_tolerates_duplicates(self):
+        counts = random_counts(seed=4)
+        packets = fragment_measurement(0, 0, counts)
+        assert np.array_equal(reassemble_measurement(packets + packets[:5]), counts)
+
+    def test_reassembly_detects_missing_fragment(self):
+        packets = fragment_measurement(0, 0, random_counts())
+        with pytest.raises(ValueError, match="missing"):
+            reassemble_measurement(packets[:-1])
+
+    def test_reassembly_rejects_mixed_measurements(self):
+        a = fragment_measurement(0, 0, random_counts(seed=5))
+        b = fragment_measurement(0, 1, random_counts(seed=6))
+        with pytest.raises(ValueError, match="mix"):
+            reassemble_measurement(a[:-1] + [b[-1]])
+
+    def test_reassembly_rejects_conflicting_duplicates(self):
+        packets = fragment_measurement(0, 0, random_counts(seed=7))
+        forged = DataPacket(
+            sensor_id=0,
+            measurement_id=0,
+            seq=0,
+            total=packets[0].total,
+            payload=b"\xff" * len(packets[0].payload),
+        )
+        with pytest.raises(ValueError, match="conflicting"):
+            reassemble_measurement(packets + [forged])
+
+    def test_empty_reassembly_rejected(self):
+        with pytest.raises(ValueError):
+            reassemble_measurement([])
+
+    def test_packet_rejects_bad_seq(self):
+        with pytest.raises(ValueError):
+            DataPacket(sensor_id=0, measurement_id=0, seq=5, total=5, payload=b"")
+
+    @given(st.integers(8, 256), st.integers(8, 128))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_for_any_block_and_payload_size(self, k, payload_bytes):
+        counts = random_counts(k=k, seed=k)
+        packets = fragment_measurement(0, 0, counts, payload_bytes=payload_bytes)
+        assert np.array_equal(reassemble_measurement(packets), counts)

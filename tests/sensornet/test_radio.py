@@ -1,0 +1,72 @@
+"""Tests for the lossy link model (radio.py)."""
+
+import numpy as np
+import pytest
+
+from repro.sensornet.radio import LossyLink
+
+
+class TestBernoulliMode:
+    def test_lossless_link_never_drops(self):
+        link = LossyLink(loss_probability=0.0, seed=0)
+        assert all(link.transmit() for _ in range(500))
+        assert link.observed_loss_rate == 0.0
+
+    def test_dead_link_always_drops(self):
+        link = LossyLink(loss_probability=1.0, seed=0)
+        assert not any(link.transmit() for _ in range(100))
+        assert link.observed_loss_rate == 1.0
+
+    def test_loss_rate_statistics(self):
+        link = LossyLink(loss_probability=0.2, seed=1)
+        outcomes = [link.transmit() for _ in range(5000)]
+        assert np.mean(outcomes) == pytest.approx(0.8, abs=0.03)
+
+    def test_counters(self):
+        link = LossyLink(loss_probability=0.5, seed=2)
+        for _ in range(100):
+            link.transmit()
+        assert link.transmissions == 100
+        assert 0 < link.losses < 100
+
+    def test_fresh_link_reports_zero_rate(self):
+        assert LossyLink().observed_loss_rate == 0.0
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            LossyLink(loss_probability=1.5)
+        with pytest.raises(ValueError):
+            LossyLink(burst_loss_probability=-0.1)
+        with pytest.raises(ValueError):
+            LossyLink(p_good_to_bad=2.0)
+
+
+class TestBurstMode:
+    def test_burst_mode_raises_overall_loss(self):
+        calm = LossyLink(loss_probability=0.02, seed=3)
+        bursty = LossyLink(
+            loss_probability=0.02,
+            burst_loss_probability=0.9,
+            p_good_to_bad=0.05,
+            p_bad_to_good=0.1,
+            seed=3,
+        )
+        calm_rate = np.mean([not calm.transmit() for _ in range(5000)])
+        bursty_rate = np.mean([not bursty.transmit() for _ in range(5000)])
+        assert bursty_rate > calm_rate + 0.05
+
+    def test_losses_cluster_in_bursts(self):
+        link = LossyLink(
+            loss_probability=0.0,
+            burst_loss_probability=1.0,
+            p_good_to_bad=0.02,
+            p_bad_to_good=0.2,
+            seed=4,
+        )
+        outcomes = np.asarray([link.transmit() for _ in range(5000)])
+        losses = ~outcomes
+        # Conditional probability of loss after a loss must exceed the
+        # marginal loss rate (temporal clustering).
+        marginal = losses.mean()
+        after_loss = losses[1:][losses[:-1]].mean()
+        assert after_loss > 2 * marginal

@@ -1,0 +1,109 @@
+"""Tests for wakeup scheduling, liveness and adaptive sampling (scheduler.py)."""
+
+import numpy as np
+import pytest
+
+from repro.sensornet.scheduler import AdaptiveSamplingPolicy, ScheduleEntry, WakeupScheduler
+
+
+class TestScheduleEntry:
+    def test_wakeup_times_follow_period(self):
+        entry = ScheduleEntry(sensor_id=0, offset_s=10.0, report_period_s=600.0)
+        assert entry.wakeup_time(0) == 10.0
+        assert entry.wakeup_time(3) == pytest.approx(1810.0)
+
+    def test_rejects_negative_round(self):
+        entry = ScheduleEntry(0, 0.0, 600.0)
+        with pytest.raises(ValueError):
+            entry.wakeup_time(-1)
+
+
+class TestWakeupScheduler:
+    def test_slots_are_staggered(self):
+        scheduler = WakeupScheduler(report_period_s=600.0, slot_width_s=30.0)
+        entries = [scheduler.register(i) for i in range(5)]
+        offsets = [e.offset_s for e in entries]
+        assert offsets == [0.0, 30.0, 60.0, 90.0, 120.0]
+
+    def test_slots_wrap_within_period(self):
+        scheduler = WakeupScheduler(report_period_s=100.0, slot_width_s=30.0)
+        entries = [scheduler.register(i) for i in range(5)]
+        assert all(0 <= e.offset_s < 100.0 for e in entries)
+
+    def test_reregistration_is_idempotent(self):
+        scheduler = WakeupScheduler(600.0)
+        first = scheduler.register(7)
+        second = scheduler.register(7)
+        assert first == second
+
+    def test_liveness_tracks_heartbeats(self):
+        scheduler = WakeupScheduler(report_period_s=600.0)
+        scheduler.register(1, boot_time_s=0.0)
+        assert scheduler.is_alive(1, now_s=600.0)
+        # No heartbeat for > 2.5 periods -> dead.
+        assert not scheduler.is_alive(1, now_s=2000.0)
+        scheduler.record_heartbeat(1, now_s=2000.0)
+        assert scheduler.is_alive(1, now_s=2500.0)
+
+    def test_dead_sensor_listing(self):
+        scheduler = WakeupScheduler(report_period_s=100.0)
+        scheduler.register(1, boot_time_s=0.0)
+        scheduler.register(2, boot_time_s=0.0)
+        scheduler.record_heartbeat(2, now_s=900.0)
+        assert scheduler.dead_sensors(now_s=1000.0) == [1]
+
+    def test_unknown_sensor_heartbeat_raises(self):
+        scheduler = WakeupScheduler(100.0)
+        with pytest.raises(KeyError):
+            scheduler.record_heartbeat(99, 0.0)
+
+    def test_unregistered_sensor_is_dead(self):
+        scheduler = WakeupScheduler(100.0)
+        assert not scheduler.is_alive(5, 0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            WakeupScheduler(0.0)
+        with pytest.raises(ValueError):
+            WakeupScheduler(100.0, slot_width_s=0.0)
+        with pytest.raises(ValueError):
+            WakeupScheduler(100.0, heartbeat_timeout_periods=0.0)
+
+
+class TestAdaptiveSamplingPolicy:
+    def test_flat_trend_gets_minimum_rate(self):
+        policy = AdaptiveSamplingPolicy(min_rate_hz=500, max_rate_hz=8000)
+        days = np.linspace(0, 30, 20)
+        flat = np.full(20, 0.1)
+        assert policy.suggest_rate(days, flat) == pytest.approx(500.0, rel=0.05)
+
+    def test_steep_trend_gets_maximum_rate(self):
+        policy = AdaptiveSamplingPolicy(min_rate_hz=500, max_rate_hz=8000, slope_scale=0.002)
+        days = np.linspace(0, 30, 20)
+        steep = 0.01 * days
+        assert policy.suggest_rate(days, steep) == pytest.approx(8000.0, rel=0.05)
+
+    def test_intermediate_trend_interpolates(self):
+        policy = AdaptiveSamplingPolicy(min_rate_hz=500, max_rate_hz=8000, slope_scale=0.002)
+        days = np.linspace(0, 30, 20)
+        rate = policy.suggest_rate(days, 0.001 * days)
+        assert 500.0 < rate < 8000.0
+
+    def test_insufficient_history_defaults_to_minimum(self):
+        policy = AdaptiveSamplingPolicy()
+        assert policy.suggest_rate(np.asarray([1.0]), np.asarray([0.1])) == policy.min_rate_hz
+        same_day = policy.suggest_rate(np.asarray([1.0, 1.0]), np.asarray([0.1, 0.5]))
+        assert same_day == policy.min_rate_hz
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveSamplingPolicy(min_rate_hz=0)
+        with pytest.raises(ValueError):
+            AdaptiveSamplingPolicy(min_rate_hz=100, max_rate_hz=50)
+        with pytest.raises(ValueError):
+            AdaptiveSamplingPolicy(slope_scale=0)
+
+    def test_rejects_misaligned_history(self):
+        policy = AdaptiveSamplingPolicy()
+        with pytest.raises(ValueError):
+            policy.suggest_rate(np.ones(3), np.ones(4))

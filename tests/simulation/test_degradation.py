@@ -1,0 +1,102 @@
+"""Tests for the degradation process (degradation.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import ZONE_A, ZONE_BC, ZONE_D
+from repro.simulation.degradation import (
+    MODEL_I,
+    MODEL_II,
+    WEAR_AT_FAILURE,
+    ZONE_BOUNDARY_A_BC,
+    ZONE_BOUNDARY_BC_D,
+    DegradationProcess,
+    LifetimeModelSpec,
+    zone_for_wear,
+)
+
+
+class TestLifetimeModelSpec:
+    def test_paper_populations(self):
+        assert MODEL_I.mean_life_days == pytest.approx(540.0)  # ~18 months
+        assert MODEL_II.mean_life_days == pytest.approx(180.0)  # ~6 months
+
+    def test_sampled_lives_center_on_mean(self):
+        gen = np.random.default_rng(0)
+        lives = [MODEL_I.sample_life_days(gen) for _ in range(500)]
+        assert np.mean(lives) == pytest.approx(540.0, rel=0.05)
+
+    def test_sampled_life_has_floor(self):
+        spec = LifetimeModelSpec("edge", mean_life_days=100.0, life_spread=0.9)
+        gen = np.random.default_rng(1)
+        lives = [spec.sample_life_days(gen) for _ in range(200)]
+        assert min(lives) >= 10.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            LifetimeModelSpec("bad", mean_life_days=0)
+        with pytest.raises(ValueError):
+            LifetimeModelSpec("bad", mean_life_days=10, life_spread=1.0)
+
+
+class TestZoneMapping:
+    def test_boundaries(self):
+        assert zone_for_wear(0.0) == ZONE_A
+        assert zone_for_wear(ZONE_BOUNDARY_A_BC - 1e-9) == ZONE_A
+        assert zone_for_wear(ZONE_BOUNDARY_A_BC) == ZONE_BC
+        assert zone_for_wear(ZONE_BOUNDARY_BC_D - 1e-9) == ZONE_BC
+        assert zone_for_wear(ZONE_BOUNDARY_BC_D) == ZONE_D
+        assert zone_for_wear(WEAR_AT_FAILURE) == ZONE_D
+
+    def test_rejects_negative_wear(self):
+        with pytest.raises(ValueError):
+            zone_for_wear(-0.1)
+
+
+class TestDegradationProcess:
+    def test_wear_starts_at_zero(self):
+        process = DegradationProcess(MODEL_I, np.random.default_rng(0))
+        assert process.wear_at(0.0) == pytest.approx(0.0, abs=0.02)
+
+    def test_wear_reaches_failure_at_life(self):
+        process = DegradationProcess(MODEL_II, np.random.default_rng(1))
+        assert process.wear_at(process.life_days) == pytest.approx(
+            WEAR_AT_FAILURE, abs=0.05
+        )
+
+    def test_wear_trend_is_monotone_on_average(self):
+        process = DegradationProcess(MODEL_I, np.random.default_rng(2))
+        days = np.linspace(0, process.life_days, 50)
+        wear = np.asarray([process.wear_at(d) for d in days])
+        # Coarse (10-point) averages must be strictly increasing even if
+        # the ripple makes individual steps non-monotone.
+        coarse = wear.reshape(10, 5).mean(axis=1)
+        assert (np.diff(coarse) > 0).all()
+
+    def test_wear_is_deterministic_per_pump(self):
+        process = DegradationProcess(MODEL_I, np.random.default_rng(3))
+        assert process.wear_at(123.0) == process.wear_at(123.0)
+
+    def test_true_rul_is_linear_in_service_time(self):
+        process = DegradationProcess(MODEL_I, np.random.default_rng(4))
+        assert process.true_rul_days(0.0) == pytest.approx(process.life_days)
+        assert process.true_rul_days(process.life_days) == pytest.approx(0.0)
+        assert process.true_rul_days(process.life_days + 50) == pytest.approx(-50.0)
+
+    def test_zone_progression_over_life(self):
+        process = DegradationProcess(MODEL_I, np.random.default_rng(5), process_noise=0.0)
+        zones = [process.zone_at(f * process.life_days) for f in (0.1, 0.5, 0.95)]
+        assert zones == [ZONE_A, ZONE_BC, ZONE_D]
+
+    def test_rejects_negative_service_day(self):
+        process = DegradationProcess(MODEL_I, np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            process.wear_at(-1.0)
+
+    def test_rejects_negative_process_noise(self):
+        with pytest.raises(ValueError):
+            DegradationProcess(MODEL_I, np.random.default_rng(7), process_noise=-0.1)
+
+    def test_failure_day_equals_life(self):
+        process = DegradationProcess(MODEL_II, np.random.default_rng(8))
+        assert process.failure_day() == process.life_days

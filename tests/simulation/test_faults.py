@@ -1,0 +1,91 @@
+"""Tests for fault injection (faults.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import psd_feature, psd_frequencies
+from repro.simulation.faults import FaultInjector, FaultSpec, FaultType
+
+FS = 4000.0
+K = 1024
+
+
+@pytest.fixture(scope="module")
+def injector():
+    return FaultInjector()
+
+
+def band_amplitude(psd, freqs, center, width=6.0):
+    mask = (freqs > center - width) & (freqs < center + width)
+    return psd[mask].max()
+
+
+def mean_psd(injector, fault, n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.mean(
+        [psd_feature(injector.synthesize(fault, K, FS, rng)) for _ in range(n)],
+        axis=0,
+    )
+
+
+class TestFaultSpec:
+    def test_rejects_negative_severity(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultType.IMBALANCE, severity=-0.1)
+
+
+class TestFaultInjector:
+    def test_none_fault_matches_base_statistics(self, injector):
+        rng = np.random.default_rng(1)
+        block = injector.synthesize(FaultSpec(FaultType.NONE), K, FS, rng)
+        assert block.shape == (K, 3)
+        assert np.isfinite(block).all()
+
+    def test_zero_severity_is_no_fault(self, injector):
+        healthy = mean_psd(injector, FaultSpec(FaultType.NONE), seed=2)
+        zeroed = mean_psd(injector, FaultSpec(FaultType.IMBALANCE, 0.0), seed=2)
+        assert np.allclose(healthy, zeroed, rtol=0.5)
+
+    def test_imbalance_boosts_1x(self, injector):
+        freqs = psd_frequencies(K, FS)
+        f0 = injector.profile.rotation_hz
+        healthy = mean_psd(injector, FaultSpec(FaultType.NONE), seed=3)
+        faulty = mean_psd(injector, FaultSpec(FaultType.IMBALANCE, 0.8), seed=3)
+        assert band_amplitude(faulty, freqs, f0) > 5 * band_amplitude(
+            healthy, freqs, f0
+        )
+
+    def test_misalignment_boosts_2x_over_1x(self, injector):
+        freqs = psd_frequencies(K, FS)
+        f0 = injector.profile.rotation_hz
+        faulty = mean_psd(injector, FaultSpec(FaultType.MISALIGNMENT, 0.8), seed=4)
+        assert band_amplitude(faulty, freqs, 2 * f0) > band_amplitude(
+            faulty, freqs, f0
+        )
+
+    def test_looseness_populates_high_harmonics(self, injector):
+        freqs = psd_frequencies(K, FS)
+        f0 = injector.profile.rotation_hz
+        healthy = mean_psd(injector, FaultSpec(FaultType.NONE), seed=5)
+        faulty = mean_psd(injector, FaultSpec(FaultType.LOOSENESS, 0.8), seed=5)
+        # Harmonic 11 is negligible when healthy, strong when loose.
+        assert band_amplitude(faulty, freqs, 11 * f0) > 5 * band_amplitude(
+            healthy, freqs, 11 * f0
+        )
+
+    def test_bearing_defect_energizes_non_integer_multiples(self, injector):
+        freqs = psd_frequencies(K, FS)
+        f0 = injector.profile.rotation_hz
+        defect_hz = injector.profile.bearing_tone_ratios[0] * f0
+        healthy = mean_psd(injector, FaultSpec(FaultType.NONE), seed=6)
+        faulty = mean_psd(injector, FaultSpec(FaultType.BEARING_DEFECT, 0.8), seed=6)
+        assert band_amplitude(faulty, freqs, defect_hz) > 5 * band_amplitude(
+            healthy, freqs, defect_hz
+        )
+
+    def test_severity_scales_signature(self, injector):
+        freqs = psd_frequencies(K, FS)
+        f0 = injector.profile.rotation_hz
+        mild = mean_psd(injector, FaultSpec(FaultType.IMBALANCE, 0.2), seed=7)
+        severe = mean_psd(injector, FaultSpec(FaultType.IMBALANCE, 1.0), seed=7)
+        assert band_amplitude(severe, freqs, f0) > band_amplitude(mild, freqs, f0)

@@ -1,0 +1,32 @@
+"""Tests for the FICS temperature source (fics.py)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.fics import TemperatureSource
+
+
+class TestTemperatureSource:
+    def test_readings_center_on_setpoint(self):
+        source = TemperatureSource(setpoint_c=65.0, rng=np.random.default_rng(0))
+        readings = [source.reading(day, wear=0.2) for day in np.linspace(0, 30, 300)]
+        assert np.mean(readings) == pytest.approx(65.0, abs=2.0)
+
+    def test_control_dominates_wear(self):
+        """The paper's finding: temperature reflects the control system,
+        not equipment health — wear barely moves the reading."""
+        source = TemperatureSource(rng=np.random.default_rng(1))
+        healthy = [source.reading(d, wear=0.0) for d in np.linspace(0, 20, 200)]
+        worn = [source.reading(d, wear=1.0) for d in np.linspace(0, 20, 200)]
+        separation = abs(np.mean(worn) - np.mean(healthy))
+        spread = np.std(healthy)
+        assert separation < spread  # classes overlap heavily
+
+    def test_daily_swing_visible(self):
+        source = TemperatureSource(noise_c=0.0, rng=np.random.default_rng(2))
+        same_day = [source.reading(0.0 + f, 0.0) for f in np.linspace(0, 1, 24)]
+        assert np.ptp(same_day) > 2.0
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            TemperatureSource(noise_c=-1.0)

@@ -1,0 +1,223 @@
+"""Tests for the fleet simulator (fleet.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import ZONES
+from repro.simulation.fleet import FleetConfig, FleetSimulator
+from repro.storage.database import VibrationDatabase
+from repro.storage.records import BM, PM
+
+
+class TestFleetConfig:
+    def test_paper_scale_matches_paper_numbers(self):
+        config = FleetConfig.paper_scale()
+        assert config.num_pumps == 12
+        assert config.duration_days == 90.0
+        # 10-minute report period over 3 months per pump.
+        per_pump = config.duration_days / config.report_interval_days
+        assert per_pump * config.num_pumps == pytest.approx(155_520, rel=0.01)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            FleetConfig(num_pumps=0)
+        with pytest.raises(ValueError):
+            FleetConfig(duration_days=0)
+        with pytest.raises(ValueError):
+            FleetConfig(report_interval_days=0)
+        with pytest.raises(ValueError):
+            FleetConfig(model_ii_fraction=1.5)
+        with pytest.raises(ValueError):
+            FleetConfig(pm_interval_days=0)
+
+
+class TestFleetSimulator:
+    def test_measurement_counts(self, small_fleet):
+        config = small_fleet.config
+        expected = config.num_pumps * int(
+            np.ceil(config.duration_days / config.report_interval_days)
+        )
+        assert len(small_fleet.measurements) == expected
+        assert len(small_fleet.temperature) == len(small_fleet.measurements)
+
+    def test_ground_truth_alignment(self, small_fleet):
+        n = len(small_fleet.measurements)
+        assert small_fleet.true_wear.shape == (n,)
+        assert small_fleet.true_zone.shape == (n,)
+        assert small_fleet.true_rul_days.shape == (n,)
+        assert set(small_fleet.true_zone) <= set(ZONES)
+
+    def test_reproducible_given_seed(self):
+        config = FleetConfig(num_pumps=2, duration_days=10, report_interval_days=1, seed=42)
+        a = FleetSimulator(config).run()
+        b = FleetSimulator(config).run()
+        assert np.allclose(a.measurements[5].samples, b.measurements[5].samples)
+        assert np.allclose(a.true_wear, b.true_wear)
+
+    def test_staggered_initial_ages(self, small_fleet):
+        ages = [p.initial_age_days for p in small_fleet.pumps]
+        assert len(set(np.round(ages, 3))) > 1
+
+    def test_two_populations_present(self):
+        config = FleetConfig(
+            num_pumps=20, duration_days=5, report_interval_days=5, seed=0
+        )
+        dataset = FleetSimulator(config).run()
+        names = {p.model_name for p in dataset.pumps}
+        assert names == {"Model I", "Model II"}
+
+    def test_service_day_resets_at_replacement(self, small_fleet):
+        for event in small_fleet.events:
+            after = [
+                m
+                for m in small_fleet.measurements
+                if m.pump_id == event.pump_id and m.timestamp_day >= event.timestamp_day
+            ]
+            assert after, "replacement with no subsequent measurements"
+            first = min(after, key=lambda m: m.timestamp_day)
+            assert first.service_day < event.service_day_at_event
+
+    def test_bm_events_have_negative_true_rul(self, small_fleet):
+        for event in small_fleet.events:
+            if event.kind == BM:
+                assert event.true_rul_days < 0
+
+    def test_pm_events_waste_positive_rul(self):
+        config = FleetConfig(
+            num_pumps=6,
+            duration_days=120,
+            report_interval_days=2,
+            pm_interval_days=60,
+            seed=9,
+        )
+        dataset = FleetSimulator(config).run()
+        pm_events = [e for e in dataset.events if e.kind == PM]
+        assert pm_events, "expected planned replacements with a 60-day interval"
+        # Model I pumps replaced at 60 days waste hundreds of days.
+        assert max(e.true_rul_days for e in pm_events) > 100
+
+    def test_wear_and_zone_are_consistent(self, small_fleet):
+        from repro.simulation.degradation import zone_for_wear
+
+        for wear, zone in zip(small_fleet.true_wear[:50], small_fleet.true_zone[:50]):
+            assert zone_for_wear(wear) == zone
+
+
+class TestFleetDataset:
+    def test_measurement_arrays_shapes(self, small_fleet):
+        pumps, service, samples = small_fleet.measurement_arrays()
+        n = len(small_fleet.measurements)
+        k = small_fleet.config.samples_per_measurement
+        assert pumps.shape == (n,)
+        assert service.shape == (n,)
+        assert samples.shape == (n, k, 3)
+
+    def test_index_of_roundtrip(self, small_fleet):
+        m = small_fleet.measurements[17]
+        assert small_fleet.index_of(m.pump_id, m.measurement_id) == 17
+        with pytest.raises(KeyError):
+            small_fleet.index_of(999, 0)
+
+    def test_stratified_label_indices_respect_counts(self, small_fleet):
+        chosen = small_fleet.stratified_label_indices({"A": 10, "BC": 10, "D": 5})
+        zones = list(chosen.values())
+        assert zones.count("A") == 10
+        assert zones.count("BC") == 10
+        assert zones.count("D") == 5
+
+    def test_stratified_rejects_oversampling(self, small_fleet):
+        total_d = int((small_fleet.true_zone == "D").sum())
+        with pytest.raises(ValueError):
+            small_fleet.stratified_label_indices({"D": total_d + 1})
+
+    def test_stratified_rejects_unknown_zone(self, small_fleet):
+        with pytest.raises(ValueError):
+            small_fleet.stratified_label_indices({"Z": 1})
+
+    def test_expert_labels_filter_invalid(self, small_fleet):
+        records, index_map = small_fleet.expert_labels({"A": 20, "BC": 20, "D": 10})
+        assert len(records) == 50
+        assert len(index_map) <= 50
+        valid_records = [r for r in records if r.valid]
+        assert len(index_map) == len(valid_records)
+
+    def test_temperature_alignment(self, small_fleet):
+        temps = small_fleet.measurement_temperatures()
+        assert temps.shape == (len(small_fleet.measurements),)
+        assert np.isfinite(temps).all()
+
+    def test_to_database_roundtrip(self, small_fleet):
+        with VibrationDatabase() as db:
+            small_fleet.to_database(db)
+            assert db.measurements.count() == len(small_fleet.measurements)
+            stored = db.measurements.query()
+            assert len(stored) == len(small_fleet.measurements)
+            assert len(db.sensors.all()) == small_fleet.config.num_pumps
+
+
+class TestFaultyFleet:
+    def test_default_fleet_has_no_faults(self, small_fleet):
+        from repro.simulation.faults import FaultType
+
+        assert all(p.fault_kind is FaultType.NONE for p in small_fleet.pumps)
+
+    def test_fault_fraction_assigns_faults(self):
+        from repro.simulation.faults import FaultType
+
+        config = FleetConfig(
+            num_pumps=10, duration_days=4, report_interval_days=2,
+            fault_fraction=1.0, seed=3,
+        )
+        dataset = FleetSimulator(config).run()
+        kinds = {p.fault_kind for p in dataset.pumps}
+        assert FaultType.NONE not in kinds
+        assert len(kinds) >= 2  # a mix of fault classes
+
+    def test_faulty_pump_signature_detectable_late_in_life(self):
+        """A worn faulty pump's spectrum shows its fault to the diagnoser."""
+        import numpy as np
+
+        from repro.core.diagnosis import HEALTHY, SpectralDiagnoser
+        from repro.core.features import psd_feature, psd_frequencies
+        from repro.core.peaks import extract_harmonic_peaks
+        from repro.simulation.faults import FaultType
+
+        config = FleetConfig(
+            num_pumps=6, duration_days=60, report_interval_days=2,
+            fault_fraction=1.0, pm_interval_days=None,
+            max_initial_age_fraction=0.9, seed=5,
+        )
+        dataset = FleetSimulator(config).run()
+        pumps, service, samples = dataset.measurement_arrays()
+        freqs = psd_frequencies(config.samples_per_measurement,
+                                config.sampling_rate_hz)
+
+        # Healthy baseline from low-wear measurements across the fleet.
+        low_wear = dataset.true_wear < 0.15
+        if low_wear.sum() < 3:
+            import pytest
+
+            pytest.skip("no low-wear measurements in this draw")
+        baseline_psd = np.mean(
+            [psd_feature(samples[i]) for i in np.nonzero(low_wear)[0][:10]], axis=0
+        )
+        diagnoser = SpectralDiagnoser(29.5)
+        diagnoser.fit_baseline(extract_harmonic_peaks(baseline_psd, freqs))
+
+        # Diagnose each pump's most-worn measurements.
+        hits = 0
+        candidates = 0
+        for info in dataset.pumps:
+            member = np.nonzero(pumps == info.pump_id)[0]
+            worn = member[dataset.true_wear[member] > 0.7]
+            if worn.size < 2 or info.fault_kind is FaultType.NONE:
+                continue
+            candidates += 1
+            mean_psd = np.mean([psd_feature(samples[i]) for i in worn[-5:]], axis=0)
+            diagnosis = diagnoser.diagnose(extract_harmonic_peaks(mean_psd, freqs))
+            hits += diagnosis.label != HEALTHY
+        if candidates == 0:
+            import pytest
+
+            pytest.skip("no pump reached high wear in this draw")
+        assert hits / candidates >= 0.5

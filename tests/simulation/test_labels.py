@@ -1,0 +1,80 @@
+"""Tests for the expert labeling simulator (labels.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import ZONE_A, ZONE_BC, ZONE_D
+from repro.simulation.labels import ExpertLabeler, LabelerConfig
+from repro.storage.records import LABEL_SOURCE_DATA, LABEL_SOURCE_PHYSICAL
+
+
+class TestLabelerConfig:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            LabelerConfig(adjacent_confusion_rate=1.0)
+        with pytest.raises(ValueError):
+            LabelerConfig(invalid_rate=-0.1)
+
+
+class TestExpertLabeler:
+    def test_perfect_labeler_is_exact(self):
+        labeler = ExpertLabeler(
+            LabelerConfig(adjacent_confusion_rate=0.0, invalid_rate=0.0),
+            np.random.default_rng(0),
+        )
+        for zone in (ZONE_A, ZONE_BC, ZONE_D):
+            record = labeler.label(1, 2, zone)
+            assert record.zone == zone
+            assert record.valid
+
+    def test_physical_checking_is_always_exact(self):
+        labeler = ExpertLabeler(
+            LabelerConfig(adjacent_confusion_rate=0.9, invalid_rate=0.0),
+            np.random.default_rng(1),
+        )
+        records = [
+            labeler.label(0, i, ZONE_D, source=LABEL_SOURCE_PHYSICAL) for i in range(50)
+        ]
+        assert all(r.zone == ZONE_D and r.valid for r in records)
+
+    def test_confusion_only_slips_to_adjacent_zones(self):
+        labeler = ExpertLabeler(
+            LabelerConfig(adjacent_confusion_rate=0.5, invalid_rate=0.0),
+            np.random.default_rng(2),
+        )
+        records = [labeler.label(0, i, ZONE_A) for i in range(200)]
+        zones = {r.zone for r in records}
+        assert ZONE_D not in zones  # A can only slip to BC
+        assert ZONE_BC in zones
+
+    def test_invalid_rate_produces_invalid_labels(self):
+        labeler = ExpertLabeler(
+            LabelerConfig(adjacent_confusion_rate=0.0, invalid_rate=0.3),
+            np.random.default_rng(3),
+        )
+        records = [labeler.label(0, i, ZONE_BC) for i in range(300)]
+        invalid_fraction = np.mean([not r.valid for r in records])
+        assert 0.2 < invalid_fraction < 0.4
+
+    def test_confusion_rate_statistics(self):
+        labeler = ExpertLabeler(
+            LabelerConfig(adjacent_confusion_rate=0.2, invalid_rate=0.0),
+            np.random.default_rng(4),
+        )
+        records = [labeler.label(0, i, ZONE_BC) for i in range(1000)]
+        wrong = np.mean([r.zone != ZONE_BC for r in records])
+        assert 0.12 < wrong < 0.28
+
+    def test_rejects_unknown_zone_or_source(self):
+        labeler = ExpertLabeler(rng=np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            labeler.label(0, 0, "Z")
+        with pytest.raises(ValueError):
+            labeler.label(0, 0, ZONE_A, source="guesswork")
+
+    def test_record_carries_identifiers(self):
+        labeler = ExpertLabeler(rng=np.random.default_rng(6))
+        record = labeler.label(7, 13, ZONE_A)
+        assert record.pump_id == 7
+        assert record.measurement_id == 13
+        assert record.source == LABEL_SOURCE_DATA

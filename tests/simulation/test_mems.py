@@ -1,0 +1,118 @@
+"""Tests for the MEMS sensor model (mems.py)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.mems import MEMSSensor, MEMSSensorConfig, SENSOR_SPECS, SensorSpec
+
+
+class TestSensorSpecs:
+    def test_table1_mems_row(self):
+        spec = SENSOR_SPECS["mems"]
+        assert spec.price_usd == pytest.approx(10.0)
+        assert spec.power_mw == pytest.approx(3.0)
+        assert spec.noise_density_ug_per_rthz == pytest.approx(4000.0)
+        assert spec.resonance_khz == pytest.approx(22.0)
+        assert spec.accel_range_g == pytest.approx(100.0)
+
+    def test_table1_piezo_row(self):
+        spec = SENSOR_SPECS["piezo"]
+        assert spec.price_usd == pytest.approx(300.0)
+        assert spec.power_mw == pytest.approx(27.0)
+        assert spec.noise_density_ug_per_rthz == pytest.approx(700.0)
+
+    def test_mems_is_cheaper_and_noisier(self):
+        mems, piezo = SENSOR_SPECS["mems"], SENSOR_SPECS["piezo"]
+        assert mems.price_usd < piezo.price_usd
+        assert mems.power_mw < piezo.power_mw
+        assert mems.noise_density_ug_per_rthz > piezo.noise_density_ug_per_rthz
+
+    def test_noise_sigma_scales_with_bandwidth(self):
+        spec = SENSOR_SPECS["mems"]
+        assert spec.noise_sigma_g(2000.0) == pytest.approx(
+            4000e-6 * np.sqrt(2000.0)
+        )
+        with pytest.raises(ValueError):
+            spec.noise_sigma_g(0.0)
+
+
+class TestMEMSSensorConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            MEMSSensorConfig(drift_g_per_day=-1)
+        with pytest.raises(ValueError):
+            MEMSSensorConfig(jump_probability_per_day=-1)
+        with pytest.raises(ValueError):
+            MEMSSensorConfig(counts_full_scale=0)
+
+
+class TestMEMSSensor:
+    def test_counts_are_int16(self):
+        sensor = MEMSSensor(rng=np.random.default_rng(0))
+        counts = sensor.measure_counts(np.zeros((64, 3)), day=0.0, sampling_rate_hz=4000)
+        assert counts.dtype == np.int16
+
+    def test_quantization_roundtrip_scale(self):
+        sensor = MEMSSensor(rng=np.random.default_rng(1))
+        assert sensor.scale_g_per_count == pytest.approx(100.0 / 32767)
+
+    def test_gravity_magnitude_embedded_in_offsets(self):
+        sensor = MEMSSensor(rng=np.random.default_rng(2))
+        block = sensor.measure_g(np.zeros((4096, 3)), day=0.0, sampling_rate_hz=4000)
+        observed = block.mean(axis=0) - sensor.zero_offset
+        assert np.linalg.norm(observed) == pytest.approx(1.0, abs=0.05)
+
+    def test_stable_sensor_offsets_constant_over_time(self):
+        sensor = MEMSSensor(MEMSSensorConfig(), rng=np.random.default_rng(3))
+        first = sensor.measure_g(np.zeros((2048, 3)), 0.0, 4000).mean(axis=0)
+        later = sensor.measure_g(np.zeros((2048, 3)), 90.0, 4000).mean(axis=0)
+        assert np.allclose(first, later, atol=0.02)
+
+    def test_drifting_sensor_offsets_move(self):
+        config = MEMSSensorConfig(drift_g_per_day=0.01)
+        sensor = MEMSSensor(config, rng=np.random.default_rng(4))
+        first = sensor.measure_g(np.zeros((2048, 3)), 0.0, 4000).mean(axis=0)
+        later = sensor.measure_g(np.zeros((2048, 3)), 120.0, 4000).mean(axis=0)
+        assert np.linalg.norm(later - first) > 0.3
+
+    def test_jumps_produce_abrupt_offset_changes(self):
+        config = MEMSSensorConfig(jump_probability_per_day=5.0, jump_scale_g=1.0)
+        sensor = MEMSSensor(config, rng=np.random.default_rng(5))
+        offsets = [
+            sensor.measure_g(np.zeros((512, 3)), day, 4000).mean(axis=0)
+            for day in np.arange(0, 5.0, 0.5)
+        ]
+        steps = np.linalg.norm(np.diff(np.stack(offsets), axis=0), axis=1)
+        assert steps.max() > 0.3
+
+    def test_saturation_clips_at_range(self):
+        sensor = MEMSSensor(rng=np.random.default_rng(6))
+        huge = np.full((64, 3), 500.0)  # 5x the 100 g range
+        block = sensor.measure_g(huge, 0.0, 4000)
+        assert block.max() <= 100.0 + 1e-9
+
+    def test_noise_level_tracks_spec(self):
+        sensor = MEMSSensor(rng=np.random.default_rng(7))
+        block = sensor.measure_g(np.zeros((8192, 3)), 0.0, 4000)
+        measured_sigma = (block - block.mean(axis=0)).std()
+        expected = SENSOR_SPECS["mems"].noise_sigma_g(2000.0)
+        assert measured_sigma == pytest.approx(expected, rel=0.1)
+
+    def test_rejects_wrong_shape(self):
+        sensor = MEMSSensor(rng=np.random.default_rng(8))
+        with pytest.raises(ValueError):
+            sensor.measure_counts(np.zeros((8, 2)), 0.0, 4000)
+
+    def test_signal_survives_sensing_chain(self):
+        """A strong tone must remain recoverable through noise+quantization."""
+        from repro.core.features import psd_feature, psd_frequencies
+
+        t = np.arange(1024) / 4000.0
+        tone = 0.8 * np.sin(2 * np.pi * 400.0 * t)
+        block = np.stack([tone, tone, tone], axis=1)
+        sensor = MEMSSensor(rng=np.random.default_rng(9))
+        sensed = sensor.measure_g(block, 0.0, 4000)
+        psd = psd_feature(sensed)
+        freqs = psd_frequencies(1024, 4000.0)
+        dominant = freqs[int(np.argmax(psd))]
+        assert abs(dominant - 400.0) < 20

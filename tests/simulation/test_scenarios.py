@@ -1,0 +1,68 @@
+"""Tests for the canned scenario builders (scenarios.py)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.faults import FaultType
+from repro.simulation.scenarios import (
+    conservative_fab,
+    mixed_health_fleet,
+    noisy_deployment,
+    paper_fleet,
+)
+from repro.storage.records import PM
+
+
+class TestPaperFleet:
+    def test_matches_paper_structure(self):
+        dataset = paper_fleet(report_interval_days=10.0)
+        assert dataset.config.num_pumps == 12
+        assert dataset.config.duration_days == 90.0
+        assert len(dataset.measurements) == 12 * 9
+
+    def test_density_scales_measurement_count(self):
+        sparse = paper_fleet(report_interval_days=30.0)
+        dense = paper_fleet(report_interval_days=10.0)
+        assert len(dense.measurements) == 3 * len(sparse.measurements)
+
+
+class TestMixedHealthFleet:
+    def test_all_zones_populated(self):
+        dataset = mixed_health_fleet()
+        zones = set(dataset.true_zone)
+        assert zones == {"A", "BC", "D"}
+
+    def test_deterministic_per_seed(self):
+        a = mixed_health_fleet(num_pumps=3, duration_days=20, seed=4)
+        b = mixed_health_fleet(num_pumps=3, duration_days=20, seed=4)
+        assert np.allclose(a.true_wear, b.true_wear)
+
+
+class TestNoisyDeployment:
+    def test_contains_unstable_sensors_and_faults(self):
+        dataset = noisy_deployment(num_pumps=10, duration_days=10)
+        assert any(not p.sensor_stable for p in dataset.pumps)
+        assert any(p.fault_kind is not FaultType.NONE for p in dataset.pumps)
+
+    def test_still_analyzable(self):
+        from repro.core.pipeline import AnalysisPipeline, PipelineConfig
+
+        dataset = noisy_deployment(num_pumps=5, duration_days=50, seed=23)
+        pumps, service, samples = dataset.measurement_arrays()
+        counts = {z: int((dataset.true_zone == z).sum()) for z in ("A", "BC", "D")}
+        want = {z: min(10, max(1, c)) for z, c in counts.items() if c > 0}
+        if len(want) < 3:
+            pytest.skip("zone coverage too thin in this draw")
+        _, labels = dataset.expert_labels(want)
+        result = AnalysisPipeline(PipelineConfig(ransac_min_inliers=15)).run(
+            pumps, service, samples, labels
+        )
+        assert result.valid_mask.mean() > 0.3
+
+
+class TestConservativeFab:
+    def test_produces_pm_events_with_wasted_rul(self):
+        dataset = conservative_fab()
+        pm_events = [e for e in dataset.events if e.kind == PM]
+        assert pm_events
+        assert max(e.true_rul_days for e in pm_events) > 50

@@ -1,0 +1,114 @@
+"""Tests for the vibration synthesizer (signal.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import psd_feature, psd_frequencies, rms_feature
+from repro.simulation.signal import MachineProfile, VibrationSynthesizer
+
+FS = 4000.0
+K = 1024
+
+
+@pytest.fixture(scope="module")
+def synth():
+    return VibrationSynthesizer()
+
+
+class TestMachineProfile:
+    def test_default_profile_is_valid(self):
+        profile = MachineProfile()
+        assert profile.rotation_hz > 0
+        assert len(profile.axis_coupling) == 3
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            MachineProfile(rotation_hz=0)
+        with pytest.raises(ValueError):
+            MachineProfile(num_harmonics=0)
+        with pytest.raises(ValueError):
+            MachineProfile(harmonic_decay=1.5)
+
+
+class TestSynthesize:
+    def test_output_shape_and_finiteness(self, synth):
+        block = synth.synthesize(0.5, K, FS, np.random.default_rng(0))
+        assert block.shape == (K, 3)
+        assert np.isfinite(block).all()
+
+    def test_healthy_spectrum_shows_rotation_fundamental(self, synth):
+        gen = np.random.default_rng(1)
+        psd = np.mean(
+            [psd_feature(synth.synthesize(0.0, K, FS, gen)) for _ in range(5)], axis=0
+        )
+        freqs = psd_frequencies(K, FS)
+        f0 = synth.profile.rotation_hz
+        fund_band = (freqs > f0 - 10) & (freqs < f0 + 10)
+        background = (freqs > 500) & (freqs < 600)
+        assert psd[fund_band].max() > 20 * psd[background].mean()
+
+    def test_degradation_raises_rms(self, synth):
+        gen = np.random.default_rng(2)
+        healthy = np.mean(
+            [rms_feature(synth.synthesize(0.05, K, FS, gen)) for _ in range(10)]
+        )
+        worn = np.mean(
+            [rms_feature(synth.synthesize(1.0, K, FS, gen)) for _ in range(10)]
+        )
+        assert worn > healthy
+
+    def test_degradation_adds_high_frequency_energy(self, synth):
+        """The paper's key physical premise: abnormal equipment gives off
+        high-frequency noise."""
+        gen = np.random.default_rng(3)
+        freqs = psd_frequencies(K, FS)
+        hf = freqs > 1200
+        healthy_hf = np.mean(
+            [psd_feature(synth.synthesize(0.05, K, FS, gen))[hf].sum() for _ in range(10)]
+        )
+        worn_hf = np.mean(
+            [psd_feature(synth.synthesize(1.0, K, FS, gen))[hf].sum() for _ in range(10)]
+        )
+        assert worn_hf > 3 * healthy_hf
+
+    def test_bearing_tones_emerge_with_wear(self, synth):
+        gen = np.random.default_rng(4)
+        freqs = psd_frequencies(K, FS)
+        tone_hz = synth.profile.bearing_tone_ratios[0] * synth.profile.rotation_hz
+        band = (freqs > tone_hz - 8) & (freqs < tone_hz + 8)
+        healthy = np.mean(
+            [psd_feature(synth.synthesize(0.0, K, FS, gen))[band].max() for _ in range(8)]
+        )
+        worn = np.mean(
+            [psd_feature(synth.synthesize(1.0, K, FS, gen))[band].max() for _ in range(8)]
+        )
+        assert worn > 5 * healthy
+
+    def test_amplitude_variance_grows_with_wear(self, synth):
+        """Fig. 10: PSD fluctuation grows from Zone BC to Zone D."""
+        gen = np.random.default_rng(5)
+        healthy_rms = [rms_feature(synth.synthesize(0.1, K, FS, gen)) for _ in range(30)]
+        worn_rms = [rms_feature(synth.synthesize(1.0, K, FS, gen)) for _ in range(30)]
+        healthy_cv = np.std(healthy_rms) / np.mean(healthy_rms)
+        worn_cv = np.std(worn_rms) / np.mean(worn_rms)
+        assert worn_cv > healthy_cv
+
+    def test_axes_are_coupled_but_not_identical(self, synth):
+        block = synth.synthesize(0.3, K, FS, np.random.default_rng(6))
+        corr_xy = np.corrcoef(block[:, 0], block[:, 1])[0, 1]
+        assert corr_xy > 0.5
+        assert not np.allclose(block[:, 0], block[:, 1])
+
+    def test_respects_nyquist(self, synth):
+        # Low sampling rate: tones above Nyquist must be skipped without error.
+        block = synth.synthesize(0.5, 256, 100.0, np.random.default_rng(7))
+        assert np.isfinite(block).all()
+
+    def test_rejects_bad_inputs(self, synth):
+        gen = np.random.default_rng(8)
+        with pytest.raises(ValueError):
+            synth.synthesize(-0.1, K, FS, gen)
+        with pytest.raises(ValueError):
+            synth.synthesize(0.5, 1, FS, gen)
+        with pytest.raises(ValueError):
+            synth.synthesize(0.5, K, 0.0, gen)

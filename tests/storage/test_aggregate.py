@@ -1,0 +1,122 @@
+"""Tests for tiered retention (aggregate.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import rms_feature
+from repro.storage.aggregate import RetentionManager
+from repro.storage.database import VibrationDatabase
+from repro.storage.records import Measurement
+
+
+def make_measurement(pump=0, mid=0, day=0.0, amplitude=0.5, seed=0):
+    gen = np.random.default_rng(seed + mid)
+    t = np.arange(128) / 4000.0
+    mono = amplitude * np.sin(2 * np.pi * 200.0 * t)
+    samples = np.stack([mono, mono, mono], axis=1)
+    samples += gen.normal(0, 0.01, size=samples.shape)
+    samples += np.asarray([0.1, -0.1, 1.0])[None, :]
+    return Measurement(pump, mid, day, day, samples)
+
+
+@pytest.fixture()
+def db():
+    with VibrationDatabase() as database:
+        yield database
+
+
+class TestSummarizeDay:
+    def test_aggregates_one_pump_day(self, db):
+        for i in range(6):
+            db.measurements.add(make_measurement(mid=i, day=2.0 + i * 0.1))
+        manager = RetentionManager(db)
+        summary = manager.summarize_day(0, 2)
+        assert summary is not None
+        assert summary.n_measurements == 6
+        reference = rms_feature(make_measurement(mid=0, day=2.0).samples)
+        assert summary.rms_mean == pytest.approx(reference, rel=0.1)
+        assert summary.rms_max >= summary.rms_mean
+        # The 6.4-period sinusoid leaves a small nonzero mean per block,
+        # hence the loose tolerance.
+        assert summary.offset_mean == pytest.approx((0.1, -0.1, 1.0), abs=0.05)
+        assert summary.service_day_last == pytest.approx(2.5)
+
+    def test_empty_day_returns_none(self, db):
+        manager = RetentionManager(db)
+        assert manager.summarize_day(0, 5) is None
+
+
+class TestStoreAndQuery:
+    def test_roundtrip(self, db):
+        db.measurements.add(make_measurement(day=1.5))
+        manager = RetentionManager(db)
+        summary = manager.summarize_day(0, 1)
+        manager.store_summary(summary)
+        [loaded] = manager.summaries()
+        assert loaded.pump_id == summary.pump_id
+        assert loaded.day == summary.day
+        assert loaded.rms_mean == pytest.approx(summary.rms_mean)
+
+    def test_upsert_per_pump_day(self, db):
+        db.measurements.add(make_measurement(day=1.5))
+        manager = RetentionManager(db)
+        summary = manager.summarize_day(0, 1)
+        manager.store_summary(summary)
+        manager.store_summary(summary)
+        assert len(manager.summaries()) == 1
+
+    def test_pump_filter(self, db):
+        db.measurements.add(make_measurement(pump=1, day=0.5))
+        db.measurements.add(make_measurement(pump=2, day=0.5))
+        manager = RetentionManager(db)
+        for pump in (1, 2):
+            manager.store_summary(manager.summarize_day(pump, 0))
+        assert len(manager.summaries(pump_id=1)) == 1
+        assert len(manager.summaries()) == 2
+
+
+class TestCompaction:
+    def test_old_blocks_summarized_then_deleted(self, db):
+        # Days 0..4, two measurements per day.
+        for day in range(5):
+            for j in range(2):
+                db.measurements.add(
+                    make_measurement(mid=day * 10 + j, day=day + 0.2 + 0.3 * j)
+                )
+        manager = RetentionManager(db)
+        outcome = manager.compact(keep_raw_days=2.0, now_day=5.0)
+        # Cutoff at day 3: days 0, 1, 2 compacted.
+        assert outcome["summaries_written"] == 3
+        assert outcome["raw_deleted"] == 6
+        assert db.measurements.count() == 4
+        summaries = manager.summaries()
+        assert [s.day for s in summaries] == [0, 1, 2]
+        assert all(s.n_measurements == 2 for s in summaries)
+
+    def test_compaction_is_idempotent(self, db):
+        for day in range(3):
+            db.measurements.add(make_measurement(mid=day, day=float(day)))
+        manager = RetentionManager(db)
+        first = manager.compact(keep_raw_days=1.0, now_day=3.0)
+        second = manager.compact(keep_raw_days=1.0, now_day=3.0)
+        assert first["raw_deleted"] == 2
+        assert second["raw_deleted"] == 0
+        assert second["summaries_written"] == 0
+
+    def test_summary_preserves_trend_information(self, db):
+        """The long-horizon RMS trend survives compaction."""
+        for day in range(4):
+            amplitude = 0.2 + 0.2 * day  # degrading pump
+            db.measurements.add(
+                make_measurement(mid=day, day=day + 0.5, amplitude=amplitude)
+            )
+        manager = RetentionManager(db)
+        manager.compact(keep_raw_days=0.0, now_day=5.0)
+        summaries = manager.summaries()
+        rms_trend = [s.rms_mean for s in summaries]
+        assert rms_trend == sorted(rms_trend)
+
+    def test_rejects_negative_retention(self, db):
+        manager = RetentionManager(db)
+        with pytest.raises(ValueError):
+            manager.compact(keep_raw_days=-1.0, now_day=0.0)

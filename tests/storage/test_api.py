@@ -1,0 +1,107 @@
+"""Tests for the analysis-period retrieval API (api.py)."""
+
+import numpy as np
+import pytest
+
+from repro.storage.api import AnalysisPeriod, DataRetrievalAPI
+from repro.storage.database import VibrationDatabase
+from repro.storage.records import (
+    PM,
+    LabelRecord,
+    MaintenanceEvent,
+    Measurement,
+    TemperatureRecord,
+)
+
+
+def make_measurement(pump=0, mid=0, day=0.0, k=16):
+    gen = np.random.default_rng(mid)
+    return Measurement(pump, mid, day, day, gen.normal(size=(k, 3)))
+
+
+@pytest.fixture()
+def api():
+    db = VibrationDatabase()
+    for day in range(10):
+        db.measurements.add(make_measurement(pump=day % 2, mid=day, day=float(day)))
+    db.labels.add(LabelRecord(0, 0, "A"))
+    db.labels.add(LabelRecord(0, 2, "BC", valid=False))
+    db.events.add(MaintenanceEvent(0, 4.5, PM, 100.0, 40.0))
+    db.temperature.add_many([TemperatureRecord(0, 3.0, 65.0)])
+    yield DataRetrievalAPI(db, AnalysisPeriod(0.0, 5.0))
+    db.close()
+
+
+class TestAnalysisPeriod:
+    def test_validates_ordering(self):
+        with pytest.raises(ValueError):
+            AnalysisPeriod(5.0, 5.0)
+
+    def test_duration_and_contains(self):
+        period = AnalysisPeriod(2.0, 7.0)
+        assert period.duration_days == 5.0
+        assert period.contains(2.0)
+        assert not period.contains(7.0)
+
+    def test_advanced_keeps_start_and_extends_end(self):
+        period = AnalysisPeriod(0.0, 5.0).advanced(2.5)
+        assert period.start_day == 0.0
+        assert period.end_day == 7.5
+
+    def test_advanced_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            AnalysisPeriod(0.0, 1.0).advanced(0.0)
+
+
+class TestRetrieval:
+    def test_measurements_scoped_to_period(self, api):
+        results = api.get_measurements()
+        assert len(results) == 5
+        assert all(0.0 <= m.timestamp_day < 5.0 for m in results)
+
+    def test_advance_widens_the_window(self, api):
+        api.advance(5.0)
+        assert len(api.get_measurements()) == 10
+
+    def test_labels_exclude_invalid(self, api):
+        labels = api.get_labels()
+        assert len(labels) == 1
+        assert labels[0].zone == "A"
+
+    def test_events_scoped_to_period(self, api):
+        assert len(api.get_events()) == 1
+        api.period = AnalysisPeriod(5.0, 10.0)
+        assert api.get_events() == []
+
+    def test_temperature_scoped_to_period(self, api):
+        assert len(api.get_temperature()) == 1
+
+    def test_pump_filter_passthrough(self, api):
+        only_pump1 = api.get_measurements(pump_ids=[1])
+        assert all(m.pump_id == 1 for m in only_pump1)
+
+
+class TestMatrixConstruction:
+    def test_dense_arrays_align(self, api):
+        pumps, mids, service, samples = api.measurement_matrices()
+        assert pumps.shape == mids.shape == service.shape == (5,)
+        assert samples.shape == (5, 16, 3)
+
+    def test_minority_block_lengths_dropped(self):
+        db = VibrationDatabase()
+        for mid in range(4):
+            db.measurements.add(make_measurement(mid=mid, day=float(mid), k=16))
+        db.measurements.add(make_measurement(mid=9, day=4.0, k=8))  # truncated transfer
+        api = DataRetrievalAPI(db, AnalysisPeriod(0.0, 10.0))
+        pumps, mids, _, samples = api.measurement_matrices()
+        assert samples.shape == (4, 16, 3)
+        assert 9 not in mids
+        db.close()
+
+    def test_empty_period(self):
+        db = VibrationDatabase()
+        api = DataRetrievalAPI(db, AnalysisPeriod(0.0, 1.0))
+        pumps, mids, service, samples = api.measurement_matrices()
+        assert pumps.size == 0
+        assert samples.shape[0] == 0
+        db.close()

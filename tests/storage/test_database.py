@@ -1,0 +1,144 @@
+"""Tests for the SQLite stores (database.py)."""
+
+import numpy as np
+import pytest
+
+from repro.storage.database import VibrationDatabase
+from repro.storage.records import (
+    BM,
+    PM,
+    LabelRecord,
+    MaintenanceEvent,
+    Measurement,
+    SensorMeta,
+    TemperatureRecord,
+)
+
+
+@pytest.fixture()
+def db():
+    with VibrationDatabase() as database:
+        yield database
+
+
+def make_measurement(pump=0, mid=0, day=0.0, k=16, seed=0):
+    gen = np.random.default_rng(seed)
+    return Measurement(
+        pump_id=pump,
+        measurement_id=mid,
+        timestamp_day=day,
+        service_day=day,
+        samples=gen.normal(size=(k, 3)),
+    )
+
+
+class TestMeasurementStore:
+    def test_roundtrip_preserves_samples(self, db):
+        original = make_measurement(seed=1)
+        db.measurements.add(original)
+        [restored] = db.measurements.query()
+        # float32 storage: exact to float32 precision.
+        assert np.allclose(restored.samples, original.samples, atol=1e-6)
+        assert restored.pump_id == original.pump_id
+        assert restored.measurement_id == original.measurement_id
+
+    def test_time_range_query_is_half_open(self, db):
+        for day in (0.0, 1.0, 2.0, 3.0):
+            db.measurements.add(make_measurement(mid=int(day), day=day))
+        results = db.measurements.query(start_day=1.0, end_day=3.0)
+        assert [m.timestamp_day for m in results] == [1.0, 2.0]
+
+    def test_pump_filter(self, db):
+        db.measurements.add(make_measurement(pump=1, mid=0))
+        db.measurements.add(make_measurement(pump=2, mid=0))
+        results = db.measurements.query(pump_ids=[2])
+        assert len(results) == 1
+        assert results[0].pump_id == 2
+
+    def test_ordering_by_time(self, db):
+        db.measurements.add(make_measurement(mid=1, day=5.0))
+        db.measurements.add(make_measurement(mid=0, day=1.0))
+        results = db.measurements.query()
+        assert [m.timestamp_day for m in results] == [1.0, 5.0]
+
+    def test_upsert_semantics(self, db):
+        db.measurements.add(make_measurement(mid=0, seed=1))
+        db.measurements.add(make_measurement(mid=0, seed=2))
+        assert db.measurements.count() == 1
+
+    def test_bulk_insert(self, db):
+        db.measurements.add_many(make_measurement(mid=i) for i in range(10))
+        assert db.measurements.count() == 10
+
+
+class TestLabelStore:
+    def test_valid_filter(self, db):
+        db.labels.add(LabelRecord(0, 0, "A", valid=True))
+        db.labels.add(LabelRecord(0, 1, "D", valid=False))
+        assert len(db.labels.query(only_valid=True)) == 1
+        assert len(db.labels.query(only_valid=False)) == 2
+        assert db.labels.count() == 2
+        assert db.labels.count(only_valid=True) == 1
+
+    def test_pump_filter(self, db):
+        db.labels.add(LabelRecord(1, 0, "A"))
+        db.labels.add(LabelRecord(2, 0, "BC"))
+        results = db.labels.query(pump_ids=[1])
+        assert len(results) == 1
+        assert results[0].zone == "A"
+
+    def test_two_sources_coexist_per_measurement(self, db):
+        db.labels.add(LabelRecord(0, 0, "A", source="data-driven"))
+        db.labels.add(LabelRecord(0, 0, "BC", source="physical-checking"))
+        assert db.labels.count() == 2
+
+
+class TestEventStore:
+    def test_roundtrip_with_nan_rul(self, db):
+        db.events.add(MaintenanceEvent(0, 10.0, PM, 180.0))
+        [event] = db.events.query()
+        assert np.isnan(event.true_rul_days)
+
+    def test_time_and_pump_filters(self, db):
+        db.events.add(MaintenanceEvent(1, 10.0, PM, 180.0, 50.0))
+        db.events.add(MaintenanceEvent(2, 20.0, BM, 200.0, -30.0))
+        assert len(db.events.query(start_day=15.0)) == 1
+        assert len(db.events.query(pump_ids=[1])) == 1
+        assert db.events.query(pump_ids=[2])[0].kind == BM
+
+
+class TestTemperatureStore:
+    def test_roundtrip_and_filters(self, db):
+        db.temperature.add_many(
+            [
+                TemperatureRecord(0, 1.0, 64.0),
+                TemperatureRecord(0, 2.0, 66.0),
+                TemperatureRecord(1, 1.5, 70.0),
+            ]
+        )
+        assert len(db.temperature.query()) == 3
+        assert len(db.temperature.query(start_day=1.2, end_day=1.8)) == 1
+        assert db.temperature.query(pump_ids=[1])[0].temperature_c == 70.0
+
+
+class TestSensorStore:
+    def test_roundtrip(self, db):
+        db.sensors.add(SensorMeta(sensor_id=5, pump_id=5, install_day=2.0))
+        [meta] = db.sensors.all()
+        assert meta.sensor_id == 5
+        assert meta.install_day == 2.0
+
+    def test_replace_on_same_id(self, db):
+        db.sensors.add(SensorMeta(sensor_id=1, pump_id=1))
+        db.sensors.add(SensorMeta(sensor_id=1, pump_id=2))
+        [meta] = db.sensors.all()
+        assert meta.pump_id == 2
+
+
+class TestFileBacked:
+    def test_persistence_across_connections(self, tmp_path):
+        path = str(tmp_path / "vibration.db")
+        with VibrationDatabase(path) as db:
+            db.measurements.add(make_measurement())
+        with VibrationDatabase(path) as db:
+            assert db.measurements.count() == 1

@@ -1,0 +1,65 @@
+"""Tests for record types (records.py)."""
+
+import numpy as np
+import pytest
+
+from repro.storage.records import (
+    BM,
+    PM,
+    LabelRecord,
+    MaintenanceEvent,
+    Measurement,
+    SensorMeta,
+    TemperatureRecord,
+)
+
+
+class TestMeasurement:
+    def test_coerces_samples_to_float(self):
+        m = Measurement(
+            pump_id=0,
+            measurement_id=1,
+            timestamp_day=2.0,
+            service_day=2.0,
+            samples=np.ones((8, 3), dtype=np.int16),
+        )
+        assert m.samples.dtype == np.float64
+        assert m.num_samples == 8
+
+    def test_rejects_bad_sample_shape(self):
+        with pytest.raises(ValueError):
+            Measurement(0, 0, 0.0, 0.0, samples=np.ones((8, 2)))
+
+    def test_default_sampling_rate_matches_paper(self):
+        m = Measurement(0, 0, 0.0, 0.0, samples=np.ones((4, 3)))
+        assert m.sampling_rate_hz == 4000.0
+
+
+class TestMaintenanceEvent:
+    def test_valid_kinds(self):
+        MaintenanceEvent(0, 1.0, PM, 30.0, 100.0)
+        MaintenanceEvent(0, 1.0, BM, 30.0, -10.0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            MaintenanceEvent(0, 1.0, "OOPS", 30.0)
+
+    def test_default_rul_is_nan(self):
+        event = MaintenanceEvent(0, 1.0, PM, 30.0)
+        assert np.isnan(event.true_rul_days)
+
+
+class TestOtherRecords:
+    def test_label_record_defaults(self):
+        label = LabelRecord(pump_id=1, measurement_id=2, zone="A")
+        assert label.valid
+        assert label.source == "data-driven"
+
+    def test_sensor_meta_defaults(self):
+        meta = SensorMeta(sensor_id=0, pump_id=0)
+        assert meta.sampling_rate_hz == 4000.0
+        assert meta.samples_per_measurement == 1024
+
+    def test_temperature_record_fields(self):
+        record = TemperatureRecord(pump_id=3, timestamp_day=1.5, temperature_c=64.2)
+        assert record.temperature_c == 64.2

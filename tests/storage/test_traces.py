@@ -1,0 +1,124 @@
+"""Tests for trace import/export (traces.py)."""
+
+import numpy as np
+import pytest
+
+from repro.storage.records import Measurement
+from repro.storage.traces import (
+    export_csv_measurement,
+    export_npz,
+    import_csv_measurement,
+    import_npz,
+)
+
+
+def make_measurement(pump=0, mid=0, k=32, seed=0):
+    gen = np.random.default_rng(seed + mid)
+    return Measurement(
+        pump_id=pump,
+        measurement_id=mid,
+        timestamp_day=float(mid),
+        service_day=float(mid) + 0.5,
+        samples=gen.normal(size=(k, 3)),
+        sampling_rate_hz=2000.0,
+    )
+
+
+class TestNPZRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        original = [make_measurement(mid=i) for i in range(5)]
+        path = export_npz(original, tmp_path / "corpus.npz")
+        restored = import_npz(path)
+        assert len(restored) == 5
+        for a, b in zip(original, restored):
+            assert a.pump_id == b.pump_id
+            assert a.measurement_id == b.measurement_id
+            assert a.timestamp_day == b.timestamp_day
+            assert a.service_day == b.service_day
+            assert a.sampling_rate_hz == b.sampling_rate_hz
+            assert np.allclose(a.samples, b.samples, atol=1e-6)
+
+    def test_mixed_block_lengths(self, tmp_path):
+        original = [
+            make_measurement(mid=0, k=16),
+            make_measurement(mid=1, k=64),
+            make_measurement(mid=2, k=32),
+        ]
+        restored = import_npz(export_npz(original, tmp_path / "mixed.npz"))
+        assert [m.num_samples for m in restored] == [16, 64, 32]
+        assert all(np.isfinite(m.samples).all() for m in restored)
+
+    def test_empty_export_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_npz([], tmp_path / "empty.npz")
+
+    def test_import_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, whatever=np.ones(3))
+        with pytest.raises(ValueError, match="missing"):
+            import_npz(path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = export_npz(
+            [make_measurement()], tmp_path / "deep" / "dir" / "c.npz"
+        )
+        assert path.exists()
+
+
+class TestCSVRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        original = make_measurement(k=48, seed=3)
+        path = export_csv_measurement(original, tmp_path / "block.csv")
+        restored = import_csv_measurement(
+            path,
+            pump_id=original.pump_id,
+            measurement_id=original.measurement_id,
+            timestamp_day=original.timestamp_day,
+            service_day=original.service_day,
+            sampling_rate_hz=original.sampling_rate_hz,
+        )
+        assert np.allclose(restored.samples, original.samples, atol=1e-8)
+
+    def test_header_is_optional(self, tmp_path):
+        path = tmp_path / "noheader.csv"
+        path.write_text("0.1,0.2,0.3\n0.4,0.5,0.6\n")
+        m = import_csv_measurement(path, 0, 0, 0.0, 0.0)
+        assert m.num_samples == 2
+        assert m.samples[1, 2] == pytest.approx(0.6)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("x,y,z\n0.1,0.2,0.3\n\n0.4,0.5,0.6\n")
+        assert import_csv_measurement(path, 0, 0, 0.0, 0.0).num_samples == 2
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0.1,0.2,0.3\nnot,a,number\n")
+        with pytest.raises(ValueError, match="malformed"):
+            import_csv_measurement(path, 0, 0, 0.0, 0.0)
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("0.1,0.2\n0.3,0.4\n")
+        with pytest.raises(ValueError, match="3 columns"):
+            import_csv_measurement(path, 0, 0, 0.0, 0.0)
+
+    def test_too_few_samples_rejected(self, tmp_path):
+        path = tmp_path / "tiny.csv"
+        path.write_text("0.1,0.2,0.3\n")
+        with pytest.raises(ValueError, match="at least 2"):
+            import_csv_measurement(path, 0, 0, 0.0, 0.0)
+
+    def test_imported_block_feeds_the_pipeline(self, tmp_path):
+        """External CSV data flows straight into feature extraction."""
+        from repro.core.features import psd_feature
+
+        t = np.arange(256) / 4000.0
+        mono = 0.5 * np.sin(2 * np.pi * 300.0 * t)
+        block = np.stack([mono, mono, mono], axis=1)
+        original = Measurement(0, 0, 0.0, 0.0, block)
+        path = export_csv_measurement(original, tmp_path / "tone.csv")
+        restored = import_csv_measurement(path, 0, 0, 0.0, 0.0)
+        psd = psd_feature(restored.samples)
+        assert np.isfinite(psd).all()
+        assert psd.argmax() > 0
