@@ -20,6 +20,9 @@ from repro.core.peaks import extract_harmonic_peaks
 from repro.core.pipeline import AnalysisPipeline, PipelineConfig, PipelineResult
 from repro.core.ransac import LineModel
 from repro.core.rul import RULPrediction
+from repro.runtime.batch import BatchPipeline
+from repro.runtime.fleet import FleetExecutor
+from repro.runtime.profile import RuntimeProfile
 from repro.storage.api import DataRetrievalAPI
 from repro.storage.records import MaintenanceEvent
 
@@ -36,12 +39,20 @@ class EngineConfig:
             disables diagnosis).
         diagnosis_window: number of most recent valid measurements whose
             mean PSD feeds each pump's diagnosis.
+        use_batch_runtime: route the analysis through the batched
+            :class:`~repro.runtime.batch.BatchPipeline` (bit-identical
+            to the scalar path; the default).  False selects the scalar
+            reference pipeline.
+        max_workers: fleet-executor thread count for the per-pump RUL
+            and diagnosis fan-out; None auto-sizes, 0/1 forces serial.
     """
 
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     cost: CostModel = field(default_factory=CostModel)
     rotation_hz: float | None = None
     diagnosis_window: int = 10
+    use_batch_runtime: bool = True
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.rotation_hz is not None and self.rotation_hz <= 0:
@@ -114,8 +125,23 @@ class VibrationAnalysisEngine:
         self.api = api
         self.config = config or EngineConfig()
 
-    def run(self) -> AnalysisReport:
+    def _make_pipeline(self) -> AnalysisPipeline:
+        """Pipeline instance per the configured runtime path."""
+        if self.config.use_batch_runtime:
+            return BatchPipeline(
+                self.config.pipeline,
+                executor=FleetExecutor(max_workers=self.config.max_workers),
+            )
+        return AnalysisPipeline(self.config.pipeline)
+
+    def run(self, profile: RuntimeProfile | None = None) -> AnalysisReport:
         """Analyze everything inside the API's current analysis period.
+
+        Args:
+            profile: optional :class:`~repro.runtime.profile.RuntimeProfile`
+                collecting per-stage wall-clock timings (the ``--profile``
+                CLI surface).  The batch runtime reports every pipeline
+                stage; the scalar reference reports one aggregate stage.
 
         Raises:
             ValueError: when the period holds no measurements or no valid
@@ -138,12 +164,22 @@ class VibrationAnalysisEngine:
         if not train_labels:
             raise ValueError("no valid labels fall inside the analysis period")
 
-        pipeline = AnalysisPipeline(self.config.pipeline)
-        result = pipeline.run(pumps, service, samples, train_labels)
+        pipeline = self._make_pipeline()
+        if isinstance(pipeline, BatchPipeline):
+            result = pipeline.run(pumps, service, samples, train_labels, profile=profile)
+        elif profile is not None:
+            with profile.stage("pipeline(scalar)", int(pumps.size)):
+                result = pipeline.run(pumps, service, samples, train_labels)
+        else:
+            result = pipeline.run(pumps, service, samples, train_labels)
 
         events = self.api.get_events()
         wasted = self.config.cost.wasted_rul_value(events)
-        diagnoses = self._diagnose(pumps, service, result, pipeline)
+        if profile is not None:
+            with profile.stage("diagnose"):
+                diagnoses = self._diagnose(pumps, service, result, pipeline)
+        else:
+            diagnoses = self._diagnose(pumps, service, result, pipeline)
         return AnalysisReport(
             pump_ids=pumps,
             measurement_ids=mids,
@@ -174,14 +210,22 @@ class VibrationAnalysisEngine:
         diagnoser = SpectralDiagnoser(self.config.rotation_hz)
         diagnoser.fit_baseline(extract_harmonic_peaks(healthy_psd, freqs))
 
-        out: dict[int, Diagnosis] = {}
         window = max(1, self.config.diagnosis_window)
+
+        def diagnose_pump(mean_psd: np.ndarray) -> Diagnosis:
+            return diagnoser.diagnose(extract_harmonic_peaks(mean_psd, freqs))
+
+        items: list[tuple[int, np.ndarray]] = []
         for pump in np.unique(pumps):
             member = np.nonzero((pumps == pump) & result.valid_mask)[0]
             if member.size == 0:
                 continue
             recent = member[np.argsort(service[member])][-window:]
-            mean_psd = result.psd[recent].mean(axis=0)
-            peaks = extract_harmonic_peaks(mean_psd, freqs)
-            out[int(pump)] = diagnoser.diagnose(peaks)
-        return out
+            items.append((int(pump), result.psd[recent].mean(axis=0)))
+
+        if isinstance(pipeline, BatchPipeline):
+            # Fan the per-pump chains across the runtime's executor;
+            # map_pumps preserves the sorted submission order, so the
+            # report iterates pumps identically to the serial loop.
+            return pipeline.executor.map_pumps(diagnose_pump, items)
+        return {pump: diagnose_pump(mean_psd) for pump, mean_psd in items}

@@ -60,6 +60,22 @@ def _add_analyze_parser(subparsers) -> None:
     p.add_argument(
         "--horizon", type=float, default=30.0, help="alert horizon in days"
     )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="append a per-stage wall-clock runtime profile to the report",
+    )
+    p.add_argument(
+        "--scalar",
+        action="store_true",
+        help="use the scalar reference pipeline instead of the batch runtime",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fleet-executor thread count (default auto; 0/1 forces serial)",
+    )
 
 
 def _add_plan_parser(subparsers) -> None:
@@ -196,6 +212,7 @@ def _cmd_analyze(args, out) -> int:
     from repro.analysis.engine import EngineConfig, VibrationAnalysisEngine
     from repro.analysis.reporting import render_report
     from repro.core.pipeline import PipelineConfig
+    from repro.runtime import RuntimeProfile
     from repro.storage.api import AnalysisPeriod, DataRetrievalAPI
     from repro.storage.database import VibrationDatabase
 
@@ -204,15 +221,20 @@ def _cmd_analyze(args, out) -> int:
         engine = VibrationAnalysisEngine(
             api,
             EngineConfig(
-                pipeline=PipelineConfig(moving_average_window=args.moving_average)
+                pipeline=PipelineConfig(moving_average_window=args.moving_average),
+                use_batch_runtime=not args.scalar,
+                max_workers=args.workers,
             ),
         )
+        profile = RuntimeProfile() if args.profile else None
         try:
-            report = engine.run()
+            report = engine.run(profile=profile)
         except ValueError as exc:
             print(f"error: {exc}", file=out)
             return 1
         print(render_report(report, horizon_days=args.horizon), file=out)
+        if profile is not None:
+            print(profile.report(), file=out)
     return 0
 
 

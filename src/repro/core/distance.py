@@ -16,6 +16,8 @@ distance with a covariance estimated from reference (Zone A) samples.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 import numpy as np
 from scipy.linalg import solve_triangular
 
@@ -40,6 +42,14 @@ def peak_harmonic_distance(
     ``peaks_j`` left unconsumed contribute their normalized amplitudes, so
     the metric is symmetric in spirit: extra energy on either side is
     penalized.
+
+    Exact symmetry holds when every peak pairs up (same peak count, each
+    within the match tolerance of its partner) — the property tests pin
+    this down — but not in general: following the paper's Algorithm 1, an
+    unmatched ``peaks_i`` peak is charged its full normalized ``(f, p)``
+    magnitude while an unmatched ``peaks_j`` peak is charged its
+    amplitude only, and the greedy matching itself is order-dependent
+    when several peaks compete for the same partner.
 
     Args:
         peaks_i: first harmonic peak feature.
@@ -70,16 +80,26 @@ def peak_harmonic_distance(
     fj = peaks_j.frequencies / f_max
     pj = peaks_j.values / p_max
 
+    # The matching loop runs on native floats (list indexing + bisect)
+    # purely for speed — every arithmetic operation, including np.hypot,
+    # sees the same IEEE doubles as an ndarray version would, so the
+    # result is bit-identical.
+    fi_l, pi_l = fi.tolist(), pi.tolist()
+    fj_l, pj_l = fj.tolist(), pj.tolist()
+
     consumed = np.zeros(n_j, dtype=bool)
+    consumed_l = consumed.tolist()
     total = 0.0
     count = 0
     for idx in range(n_i):
-        j_star = _nearest_unconsumed(fj, consumed, fi[idx])
-        if j_star >= 0 and abs(fi[idx] - fj[j_star]) * f_max < match_tolerance_hz:
-            gap = np.hypot(fi[idx] - fj[j_star], pi[idx] - pj[j_star])
+        f = fi_l[idx]
+        j_star = _nearest_unconsumed(fj_l, consumed_l, f)
+        if j_star >= 0 and abs(f - fj_l[j_star]) * f_max < match_tolerance_hz:
+            gap = np.hypot(f - fj_l[j_star], pi_l[idx] - pj_l[j_star])
             consumed[j_star] = True
+            consumed_l[j_star] = True
         else:
-            gap = float(np.hypot(fi[idx], pi[idx]))
+            gap = float(np.hypot(f, pi_l[idx]))
         total += gap
         count += 1
 
@@ -91,21 +111,52 @@ def peak_harmonic_distance(
     return total / count
 
 
-def _nearest_unconsumed(sorted_freqs: np.ndarray, consumed: np.ndarray, target: float) -> int:
+def peak_harmonic_distances(
+    peaks_list: list[HarmonicPeaks],
+    reference: HarmonicPeaks,
+    match_tolerance_hz: float = float(DEFAULT_WINDOW_SIZE),
+) -> np.ndarray:
+    """``D_a`` of every feature in ``peaks_list`` from a shared reference.
+
+    Semantically ``[peak_harmonic_distance(p, reference) for p in
+    peaks_list]``; exists so batched callers (the analysis runtime, the
+    classification benchmarks) have a single entry point the memoization
+    layer can wrap.
+
+    Args:
+        peaks_list: harmonic peak features, one per measurement.
+        reference: the shared exemplar (typically the Zone A baseline).
+        match_tolerance_hz: forwarded to :func:`peak_harmonic_distance`.
+
+    Returns:
+        Float array of distances aligned with ``peaks_list``.
+    """
+    return np.asarray(
+        [
+            peak_harmonic_distance(p, reference, match_tolerance_hz=match_tolerance_hz)
+            for p in peaks_list
+        ],
+        dtype=np.float64,
+    )
+
+
+def _nearest_unconsumed(
+    sorted_freqs: list[float], consumed: list[bool], target: float
+) -> int:
     """Index of the unconsumed frequency nearest to ``target``, or -1.
 
     ``sorted_freqs`` is increasing (guaranteed by HarmonicPeaks), so a
     binary search locates the insertion point and the nearest unconsumed
     neighbour is found by expanding left/right from it.
     """
-    n = sorted_freqs.size
-    if n == 0 or consumed.all():
+    n = len(sorted_freqs)
+    if n == 0 or all(consumed):
         return -1
-    pos = int(np.searchsorted(sorted_freqs, target))
+    pos = bisect_left(sorted_freqs, target)
     left = pos - 1
     right = pos
     best = -1
-    best_gap = np.inf
+    best_gap = float("inf")
     while left >= 0 or right < n:
         if left >= 0:
             if not consumed[left]:

@@ -106,18 +106,32 @@ class MeanShift:
         bandwidth = self.bandwidth if self.bandwidth is not None else estimate_bandwidth(pts)
         tol = self.convergence_tol if self.convergence_tol is not None else 1e-3 * bandwidth
 
+        # All seeds advance in lockstep, one vectorized distance matrix
+        # per round instead of one norm call per seed per iteration; a
+        # converged seed is frozen.  Every seed sees exactly the update
+        # sequence of the equivalent per-seed loop (the reductions run
+        # over the same axis in the same order), so the modes are
+        # bit-identical to the naive implementation.
         modes = pts.copy()
-        for seed_idx in range(n):
-            center = modes[seed_idx]
-            for _ in range(self.max_iterations):
-                dists = np.linalg.norm(pts - center, axis=1)
+        active = np.ones(n, dtype=bool)
+        # Seeds per round chunk: bounds the (seeds, n) distance matrix.
+        seed_chunk = max(1, int(4_000_000 // max(n, 1)))
+        for _ in range(self.max_iterations):
+            idx = np.nonzero(active)[0]
+            if idx.size == 0:
+                break
+            for lo in range(0, idx.size, seed_chunk):
+                rows = idx[lo : lo + seed_chunk]
+                dists = np.linalg.norm(
+                    pts[None, :, :] - modes[rows, None, :], axis=2
+                )
                 members = dists <= bandwidth
-                new_center = pts[members].mean(axis=0)
-                shift = float(np.linalg.norm(new_center - center))
-                center = new_center
-                if shift < tol:
-                    break
-            modes[seed_idx] = center
+                for row, seed_idx in enumerate(rows):
+                    new_center = pts[members[row]].mean(axis=0)
+                    shift = float(np.linalg.norm(new_center - modes[seed_idx]))
+                    modes[seed_idx] = new_center
+                    if shift < tol:
+                        active[seed_idx] = False
 
         centers = _merge_modes(modes, bandwidth)
         # Label points by the nearest merged mode.

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.window import smooth_hann
+from repro.core.window import smooth_hann, smooth_hann_batch
 
 DEFAULT_NUM_PEAKS = 20
 DEFAULT_WINDOW_SIZE = 24
@@ -78,6 +78,10 @@ def _local_maxima(values: np.ndarray) -> np.ndarray:
     bin of the plateau.  Endpoints are never reported as peaks, matching
     the paper's sign-change criterion, except that a series rising into the
     last bin has no sign change and therefore no peak there.
+
+    This is the scalar reference implementation (a literal transcription
+    of the criterion); the batched runtime uses :func:`_local_maxima_mask`,
+    which the parity tests hold bit-identical to this function.
     """
     if values.size < 3:
         return np.empty(0, dtype=np.intp)
@@ -91,6 +95,32 @@ def _local_maxima(values: np.ndarray) -> np.ndarray:
     rising = sign[:-1] > 0
     falling = sign[1:] < 0
     return np.nonzero(rising & falling)[0] + 1
+
+
+def _local_maxima_mask(rows: np.ndarray) -> np.ndarray:
+    """Vectorized local-maximum mask per row of a ``(n, K)`` matrix.
+
+    ``mask[i, j]`` is True when bin ``j`` of row ``i`` satisfies the
+    sign-change criterion of :func:`_local_maxima`.  Zero differences are
+    forward-filled with the previous trend (plateau maxima land on the
+    plateau's leading edge), implemented as an index-carrying cumulative
+    maximum instead of the per-element Python loop of the scalar path.
+    """
+    n, k = rows.shape
+    mask = np.zeros((n, k), dtype=bool)
+    if k < 3:
+        return mask
+    sign = np.sign(np.diff(rows, axis=1))
+    # Forward-fill zeros: each position takes the sign at the latest
+    # non-zero position at or before it (a leading run of zeros keeps 0).
+    positions = np.where(sign != 0, np.arange(sign.shape[1])[None, :], 0)
+    filled = np.take_along_axis(
+        sign, np.maximum.accumulate(positions, axis=1), axis=1
+    )
+    rising = filled[:, :-1] > 0
+    falling = filled[:, 1:] < 0
+    mask[:, 1:-1] = rising & falling
+    return mask
 
 
 DEFAULT_MIN_SIGNIFICANCE = 0.02
@@ -132,6 +162,16 @@ def extract_harmonic_peaks(
         raise ValueError("psd must be 1-D")
     if psd_arr.shape != freq_arr.shape:
         raise ValueError("psd and frequencies must have the same shape")
+    _check_peak_params(num_peaks, skip_dc_bins, min_significance)
+
+    smoothed = smooth_hann(psd_arr, window_size)
+    candidates = _local_maxima(smoothed)
+    return _select_peaks(
+        smoothed, freq_arr, candidates, num_peaks, skip_dc_bins, min_significance
+    )
+
+
+def _check_peak_params(num_peaks: int, skip_dc_bins: int, min_significance: float) -> None:
     if num_peaks < 1:
         raise ValueError("num_peaks must be positive")
     if skip_dc_bins < 0:
@@ -139,8 +179,16 @@ def extract_harmonic_peaks(
     if not 0.0 <= min_significance < 1.0:
         raise ValueError("min_significance must be in [0, 1)")
 
-    smoothed = smooth_hann(psd_arr, window_size)
-    candidates = _local_maxima(smoothed)
+
+def _select_peaks(
+    smoothed: np.ndarray,
+    freq_arr: np.ndarray,
+    candidates: np.ndarray,
+    num_peaks: int,
+    skip_dc_bins: int,
+    min_significance: float,
+) -> HarmonicPeaks:
+    """Significance filter + top-``num_peaks`` selection over maxima indices."""
     candidates = candidates[candidates >= skip_dc_bins]
     if candidates.size and min_significance > 0:
         floor = min_significance * smoothed[candidates].max()
@@ -152,3 +200,54 @@ def extract_harmonic_peaks(
     order = np.argsort(smoothed[candidates])[::-1][:num_peaks]
     selected = np.sort(candidates[order])
     return HarmonicPeaks(freq_arr[selected], smoothed[selected])
+
+
+def extract_harmonic_peaks_batch(
+    psds: np.ndarray,
+    frequencies: np.ndarray,
+    num_peaks: int = DEFAULT_NUM_PEAKS,
+    window_size: int = DEFAULT_WINDOW_SIZE,
+    skip_dc_bins: int = 2,
+    min_significance: float = DEFAULT_MIN_SIGNIFICANCE,
+) -> list[HarmonicPeaks]:
+    """:func:`extract_harmonic_peaks` over PSD rows ``(n, K)`` in one pass.
+
+    The two expensive stages — Hann smoothing and the local-maxima scan —
+    run vectorized over the whole matrix (one C convolution, no
+    per-element Python loop); only the final top-``num_peaks`` selection
+    runs per row, on the handful of candidate maxima.  Results are
+    bit-identical to the scalar function applied row by row, which is the
+    contract the batched analysis runtime's parity tests enforce.
+
+    Args:
+        psds: PSD matrix, one measurement per row.
+        frequencies: physical frequency per column, shape ``(K,)``.
+        num_peaks: ``n_p`` — maximum number of peaks to keep per row.
+        window_size: ``n_h`` — Hann smoothing window size.
+        skip_dc_bins: lowest bins to exclude from the search.
+        min_significance: per-row significance floor (see scalar docs).
+
+    Returns:
+        One :class:`HarmonicPeaks` per input row, in row order.
+    """
+    rows = np.atleast_2d(np.asarray(psds, dtype=np.float64))
+    freq_arr = np.asarray(frequencies, dtype=np.float64)
+    if rows.ndim != 2:
+        raise ValueError("psds must be a 2-D matrix")
+    if freq_arr.ndim != 1 or freq_arr.shape[0] != rows.shape[1]:
+        raise ValueError("frequencies must align with psd columns")
+    _check_peak_params(num_peaks, skip_dc_bins, min_significance)
+
+    smoothed = smooth_hann_batch(rows, window_size)
+    mask = _local_maxima_mask(smoothed)
+    return [
+        _select_peaks(
+            smoothed[i],
+            freq_arr,
+            np.nonzero(mask[i])[0],
+            num_peaks,
+            skip_dc_bins,
+            min_significance,
+        )
+        for i in range(rows.shape[0])
+    ]

@@ -155,6 +155,116 @@ class AnalysisPipeline:
         return psd_frequencies(num_bins, self.config.sampling_rate_hz)
 
     # ------------------------------------------------------------------
+    # Overridable stage implementations.  The batched runtime
+    # (repro.runtime.batch.BatchPipeline) subclasses this pipeline and
+    # swaps individual stages for vectorized kernels; everything the two
+    # paths share — orchestration, validation, the RUL layer — lives in
+    # these methods so the scalar path stays the reference
+    # implementation of record.
+    # ------------------------------------------------------------------
+    def _validate_inputs(
+        self,
+        ids: np.ndarray,
+        days: np.ndarray,
+        blocks: np.ndarray,
+        train_labels: dict[int, str],
+    ) -> None:
+        n = ids.shape[0]
+        if days.shape[0] != n or blocks.shape[0] != n:
+            raise ValueError("pump_ids, service_days and samples must align")
+        if not train_labels:
+            raise ValueError("train_labels must not be empty")
+        bad_idx = [i for i in train_labels if not 0 <= i < n]
+        if bad_idx:
+            raise ValueError(f"train_labels reference invalid indices: {bad_idx}")
+
+    def _make_classifier(self) -> ZoneClassifier:
+        """Zone classifier factory (the batch path plugs in its feature)."""
+        return ZoneClassifier()
+
+    def _fit_classifier(
+        self,
+        psd: np.ndarray,
+        valid: np.ndarray,
+        train_labels: dict[int, str],
+        freqs: np.ndarray,
+    ) -> tuple[ZoneClassifier, np.ndarray, np.ndarray]:
+        """Train the zone classifier on the labelled, valid measurements."""
+        train_idx = np.asarray(
+            [i for i in sorted(train_labels) if valid[i]], dtype=np.intp
+        )
+        if train_idx.size == 0:
+            raise ValueError("all labelled measurements were flagged invalid")
+        labels = np.asarray([train_labels[int(i)] for i in train_idx], dtype=object)
+        classifier = self._make_classifier()
+        classifier.fit(psd[train_idx], labels, freqs)
+        self.classifier_ = classifier
+        return classifier, train_idx, labels
+
+    def _score_da(
+        self,
+        classifier: ZoneClassifier,
+        psd: np.ndarray,
+        valid: np.ndarray,
+        ids: np.ndarray,
+        days: np.ndarray,
+        freqs: np.ndarray,
+    ) -> np.ndarray:
+        """D_a for all valid measurements, with optional per-pump smoothing."""
+        da = np.full(ids.shape[0], np.nan)
+        valid_idx = np.nonzero(valid)[0]
+        da[valid_idx] = classifier.decision_scores(psd[valid_idx], freqs)
+        if self.config.moving_average_window > 1:
+            for pump in np.unique(ids):
+                member = np.nonzero((ids == pump) & valid)[0]
+                member = member[np.argsort(days[member], kind="stable")]
+                if member.size:
+                    da[member] = moving_average(
+                        da[member], self.config.moving_average_window
+                    )
+        return da
+
+    def _fit_rul(
+        self,
+        train_da: np.ndarray,
+        labels: np.ndarray,
+        days: np.ndarray,
+        da: np.ndarray,
+        valid: np.ndarray,
+    ) -> tuple[float, RULEstimator]:
+        """Hazard threshold from training labels, lifetime models from fleet."""
+        zone_d_threshold = learn_zone_d_threshold(train_da, labels)
+        estimator = RULEstimator(
+            zone_d_threshold,
+            RecursiveRANSAC(
+                residual_threshold=self.config.ransac_residual_threshold,
+                min_inliers=self.config.ransac_min_inliers,
+                seed=self.config.ransac_seed,
+            ),
+        )
+        valid_idx = np.nonzero(valid)[0]
+        estimator.fit(days[valid_idx], da[valid_idx])
+        self.estimator_ = estimator
+        return zone_d_threshold, estimator
+
+    def _predict_rul(
+        self,
+        estimator: RULEstimator,
+        ids: np.ndarray,
+        days: np.ndarray,
+        da: np.ndarray,
+        valid: np.ndarray,
+    ) -> dict[object, RULPrediction]:
+        """Per-pump RUL predictions (the batch path fans this out)."""
+        rul: dict[object, RULPrediction] = {}
+        if estimator.n_models:
+            for pump in np.unique(ids):
+                member = np.nonzero((ids == pump) & valid)[0]
+                if member.size:
+                    rul[pump] = estimator.predict(days[member], da[member])
+        return rul
+
+    # ------------------------------------------------------------------
     # End-to-end run.
     # ------------------------------------------------------------------
     def run(
@@ -180,63 +290,26 @@ class AnalysisPipeline:
         ids = np.asarray(pump_ids)
         days = np.asarray(service_days, dtype=np.float64)
         blocks = np.asarray(samples, dtype=np.float64)
+        self._validate_inputs(ids, days, blocks, train_labels)
         n = ids.shape[0]
-        if days.shape[0] != n or blocks.shape[0] != n:
-            raise ValueError("pump_ids, service_days and samples must align")
-        if not train_labels:
-            raise ValueError("train_labels must not be empty")
-        bad_idx = [i for i in train_labels if not 0 <= i < n]
-        if bad_idx:
-            raise ValueError(f"train_labels reference invalid indices: {bad_idx}")
 
         offsets, rms, psd = self.transform(blocks)
         valid = self.preprocess(ids, offsets, days)
         freqs = self.frequencies(psd.shape[1])
 
-        # Train the zone classifier on the labelled, valid measurements.
-        train_idx = np.asarray([i for i in sorted(train_labels) if valid[i]], dtype=np.intp)
-        if train_idx.size == 0:
-            raise ValueError("all labelled measurements were flagged invalid")
-        labels = np.asarray([train_labels[int(i)] for i in train_idx], dtype=object)
-        classifier = ZoneClassifier()
-        classifier.fit(psd[train_idx], labels, freqs)
-        self.classifier_ = classifier
-
-        # D_a for all valid measurements, with optional per-pump smoothing.
-        da = np.full(n, np.nan)
-        valid_idx = np.nonzero(valid)[0]
-        da[valid_idx] = classifier.decision_scores(psd[valid_idx], freqs)
-        if self.config.moving_average_window > 1:
-            for pump in np.unique(ids):
-                member = np.nonzero((ids == pump) & valid)[0]
-                member = member[np.argsort(days[member], kind="stable")]
-                if member.size:
-                    da[member] = moving_average(da[member], self.config.moving_average_window)
+        classifier, train_idx, labels = self._fit_classifier(
+            psd, valid, train_labels, freqs
+        )
+        da = self._score_da(classifier, psd, valid, ids, days, freqs)
 
         zones = np.full(n, "", dtype=object)
+        valid_idx = np.nonzero(valid)[0]
         zones[valid_idx] = classifier.classifier.predict(da[valid_idx])
 
-        # RUL layer: hazard threshold from training labels, lifetime models
-        # from the pooled valid measurements.
-        train_da = da[train_idx]
-        zone_d_threshold = learn_zone_d_threshold(train_da, labels)
-        estimator = RULEstimator(
-            zone_d_threshold,
-            RecursiveRANSAC(
-                residual_threshold=self.config.ransac_residual_threshold,
-                min_inliers=self.config.ransac_min_inliers,
-                seed=self.config.ransac_seed,
-            ),
+        zone_d_threshold, estimator = self._fit_rul(
+            da[train_idx], labels, days, da, valid
         )
-        estimator.fit(days[valid_idx], da[valid_idx])
-        self.estimator_ = estimator
-
-        rul: dict[object, RULPrediction] = {}
-        if estimator.n_models:
-            for pump in np.unique(ids):
-                member = np.nonzero((ids == pump) & valid)[0]
-                if member.size:
-                    rul[pump] = estimator.predict(days[member], da[member])
+        rul = self._predict_rul(estimator, ids, days, da, valid)
 
         thresholds = classifier.thresholds_
         return PipelineResult(

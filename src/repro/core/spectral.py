@@ -76,11 +76,12 @@ def band_energies(
     edge_arr = np.asarray(edges, dtype=np.float64)
     if edge_arr.size < 2 or not np.all(np.diff(edge_arr) > 0):
         raise ValueError("edges must be at least 2 strictly increasing values")
-    out = np.empty(edge_arr.size - 1)
-    for i in range(out.size):
-        mask = (freq_arr >= edge_arr[i]) & (freq_arr < edge_arr[i + 1])
-        out[i] = psd_arr[mask].sum()
-    return out
+    # Bin each frequency into its band (0 = below the first edge) and
+    # accumulate band sums in one pass; bincount index n_bands+1 collects
+    # the at-or-above-last-edge tail, dropped with the below-first bucket.
+    band = np.searchsorted(edge_arr, freq_arr, side="right")
+    sums = np.bincount(band, weights=psd_arr, minlength=edge_arr.size + 1)
+    return sums[1 : edge_arr.size]
 
 
 def spectral_centroid(psd: np.ndarray, frequencies: np.ndarray) -> float:

@@ -1,0 +1,39 @@
+"""Batched, instrumented execution layer for the analysis workflow.
+
+The scalar :class:`~repro.core.pipeline.AnalysisPipeline` pushes one
+measurement at a time through transform → preprocess → features →
+RUL; correct, but every stage pays per-measurement Python and FFT-call
+overhead.  This package is the production runtime on top of the same
+analytical code:
+
+* :class:`~repro.runtime.batch.BatchPipeline` — the whole measurement
+  matrix through vectorized kernels (single 2-D DCT, one-shot Hann
+  smoothing, vectorized local-maxima scan), bit-identical to the scalar
+  reference (the parity tests enforce it);
+* :class:`~repro.runtime.fleet.FleetExecutor` — per-pump RUL and
+  diagnosis chains fanned across worker threads with chunked scheduling
+  and deterministic result ordering;
+* :class:`~repro.runtime.cache.PeakFeatureCache` — memoized exemplar
+  peaks / per-row peak features / peak distances keyed by config hash
+  and data digest, so repeated scoring of the same rows (classifier
+  training + full-fleet scoring, repeated engine runs) is paid once;
+* :class:`~repro.runtime.profile.RuntimeProfile` — per-stage wall-clock
+  timers and counters behind the ``repro analyze --profile`` flag, the
+  measurement surface for future benchmark entries.
+"""
+
+from repro.runtime.batch import BatchPeakHarmonicFeature, BatchPipeline
+from repro.runtime.cache import PeakFeatureCache, TransformCache, default_peak_cache
+from repro.runtime.fleet import FleetExecutor
+from repro.runtime.profile import RuntimeProfile, StageStats
+
+__all__ = [
+    "BatchPeakHarmonicFeature",
+    "BatchPipeline",
+    "FleetExecutor",
+    "PeakFeatureCache",
+    "RuntimeProfile",
+    "StageStats",
+    "TransformCache",
+    "default_peak_cache",
+]

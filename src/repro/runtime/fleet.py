@@ -1,0 +1,114 @@
+"""Parallel per-pump execution with deterministic result ordering.
+
+The RUL layer and the spectral diagnoser both run an independent chain of
+work per pump (model selection, anchoring, crossing-time projection /
+peak extraction over recent PSDs).  :class:`FleetExecutor` fans those
+chains across a ``concurrent.futures`` thread pool — the chains are
+numpy-bound, so workers spend most of their time outside the GIL — while
+guaranteeing that results are assembled in submission order regardless of
+worker scheduling.  Determinism rules:
+
+* work items are split into fixed, index-contiguous chunks up front
+  (no work stealing), so the partition never depends on thread timing;
+* chunk results are reassembled by chunk index, so output order equals
+  input order bit-for-bit;
+* no RNG is shared across workers — per-pump chains are pure functions
+  of their inputs (the RANSAC model discovery, the only seeded stage,
+  runs once on the pooled fleet *before* the fan-out).
+
+``max_workers=0`` or a single-item workload degrades to a plain in-line
+loop, which is also the reference behaviour the determinism tests
+compare against.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+DEFAULT_MAX_WORKERS = 4
+
+
+def resolve_workers(max_workers: int | None) -> int:
+    """Worker count for a requested setting (None = auto).
+
+    Auto picks ``min(DEFAULT_MAX_WORKERS, cpu_count)`` — per-pump chains
+    are short, so a small pool amortizes thread start-up without
+    oversubscribing small containers.
+    """
+    if max_workers is None:
+        return max(1, min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1))
+    if max_workers < 0:
+        raise ValueError("max_workers must be non-negative")
+    return max_workers
+
+
+class FleetExecutor:
+    """Chunked, order-preserving parallel map over per-pump work items."""
+
+    def __init__(self, max_workers: int | None = None, chunk_size: int | None = None):
+        """Create an executor.
+
+        Args:
+            max_workers: thread-pool size; ``None`` auto-sizes, ``0`` or
+                ``1`` forces serial in-line execution.
+            chunk_size: work items per scheduled chunk; ``None`` derives
+                ``ceil(n / (4 * workers))`` per call so every worker gets
+                a few chunks to smooth uneven per-pump costs.
+        """
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.max_workers = resolve_workers(max_workers)
+        self.chunk_size = chunk_size
+
+    def _chunks(self, n: int) -> list[range]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-n // (4 * self.max_workers)))
+        return [range(lo, min(lo + size, n)) for lo in range(0, n, size)]
+
+    def map_ordered(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item; results in input order.
+
+        Exceptions raised by ``fn`` propagate to the caller (the first
+        one in chunk order), matching the serial loop's behaviour.
+        """
+        items = list(items)
+        n = len(items)
+        if n == 0:
+            return []
+        if self.max_workers <= 1 or n == 1:
+            return [fn(item) for item in items]
+
+        def run_chunk(chunk: range) -> list[R]:
+            return [fn(items[i]) for i in chunk]
+
+        chunks = self._chunks(n)
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            chunk_results = list(pool.map(run_chunk, chunks))
+        out: list[R] = []
+        for partial in chunk_results:
+            out.extend(partial)
+        return out
+
+    def map_pumps(
+        self,
+        fn: Callable[..., R],
+        pump_items: Iterable[tuple],
+    ) -> dict:
+        """Run ``fn(*args)`` per ``(pump_id, *args)`` item, keyed results.
+
+        The returned dict preserves the iteration order of ``pump_items``
+        (Python dicts are insertion-ordered), so callers that iterate
+        pumps in sorted order get a byte-stable report regardless of the
+        worker count.
+        """
+        entries = list(pump_items)
+        results = self.map_ordered(
+            lambda entry: fn(*entry[1:]), entries
+        )
+        return {entry[0]: result for entry, result in zip(entries, results)}

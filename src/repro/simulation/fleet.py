@@ -155,12 +155,26 @@ class FleetDataset:
     true_wear: np.ndarray
     true_zone: np.ndarray
     true_rul_days: np.ndarray
+    _index_cache: dict[tuple[int, int], int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def measurement_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Dense ``(pump_ids, service_days, samples)`` arrays."""
+        """Dense ``(pump_ids, service_days, samples)`` arrays.
+
+        The sample matrix is filled into one preallocated block rather
+        than stacked from a temporary list, so fleet-scale exports pay a
+        single allocation.
+        """
+        n = len(self.measurements)
         pumps = np.asarray([m.pump_id for m in self.measurements], dtype=int)
         service = np.asarray([m.service_day for m in self.measurements], dtype=np.float64)
-        samples = np.stack([m.samples for m in self.measurements])
+        if n == 0:
+            return pumps, service, np.empty((0, 0, 3))
+        first = np.asarray(self.measurements[0].samples, dtype=np.float64)
+        samples = np.empty((n, *first.shape))
+        for idx, m in enumerate(self.measurements):
+            samples[idx] = m.samples
         return pumps, service, samples
 
     def measurement_temperatures(self) -> np.ndarray:
@@ -172,11 +186,21 @@ class FleetDataset:
         return np.asarray([t.temperature_c for t in self.temperature], dtype=np.float64)
 
     def index_of(self, pump_id: int, measurement_id: int) -> int:
-        """Global index of a measurement in this dataset's ordering."""
-        for idx, m in enumerate(self.measurements):
-            if m.pump_id == pump_id and m.measurement_id == measurement_id:
-                return idx
-        raise KeyError(f"no measurement ({pump_id}, {measurement_id})")
+        """Global index of a measurement in this dataset's ordering.
+
+        Backed by a lazily built ``(pump_id, measurement_id) → index``
+        map, so repeated lookups (label joins over thousands of records)
+        are O(1) instead of an O(n) scan each.
+        """
+        if self._index_cache is None or len(self._index_cache) != len(self.measurements):
+            self._index_cache = {
+                (m.pump_id, m.measurement_id): idx
+                for idx, m in enumerate(self.measurements)
+            }
+        try:
+            return self._index_cache[(pump_id, measurement_id)]
+        except KeyError:
+            raise KeyError(f"no measurement ({pump_id}, {measurement_id})") from None
 
     def stratified_label_indices(
         self,

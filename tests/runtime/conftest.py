@@ -1,0 +1,63 @@
+"""Shared workloads for the runtime test layer.
+
+The parity and determinism tests all need the same thing: a small but
+structurally interesting fleet-style workload — several pumps, constant
+per-pump sensor offsets (stable sensors), one pump with a mid-life offset
+jump (unstable sensor), one gross-offset outlier measurement, and enough
+expert labels to train the zone classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def make_workload(
+    n_pumps: int = 6,
+    per_pump: int = 40,
+    num_samples: int = 512,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict[int, str]]:
+    """A labelled multi-pump measurement workload.
+
+    Pump 1 is an "unstable sensor": its offset jumps halfway through the
+    series (Fig. 8's abrupt-jump case).  Measurement 3 carries a gross
+    offset and should be flagged invalid by outlier detection.
+    """
+    rng = np.random.default_rng(seed)
+    ids, days, blocks = [], [], []
+    t = np.arange(num_samples) / 2000.0
+    for pump in range(n_pumps):
+        offset = rng.uniform(-0.5, 0.5, 3)
+        for m in range(per_pump):
+            base = np.sin(2 * np.pi * 50 * t * (1 + 0.001 * pump))[:, None]
+            base = base * rng.uniform(0.5, 1.5)
+            noise = rng.normal(0, 0.05 + 0.002 * m, (num_samples, 3))
+            block = base + noise + offset
+            if pump == 1 and m >= per_pump // 2:
+                block = block + np.array([0.8, -0.6, 0.7])  # offset jump
+            ids.append(pump)
+            days.append(m // 4)
+            blocks.append(block)
+    blocks[3] = blocks[3] + 5.0  # gross-offset outlier
+    ids_arr = np.asarray(ids)
+    days_arr = np.asarray(days, dtype=float)
+    stacked = np.stack(blocks)
+
+    labels: dict[int, str] = {}
+    for pump in range(3):
+        base_idx = pump * per_pump
+        for m in range(6):
+            i = base_idx + m + (1 if pump == 0 and m >= 3 else 0)
+            labels[i] = "A"
+        labels[base_idx + per_pump - 1] = "D"
+        labels[base_idx + per_pump - 2] = "BC"
+        labels[base_idx + per_pump - 3] = "BC"
+        labels[base_idx + per_pump - 4] = "D"
+    return ids_arr, days_arr, stacked, labels
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload()

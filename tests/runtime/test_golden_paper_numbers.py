@@ -1,0 +1,126 @@
+"""Golden regression tests pinning recorded paper-reproduction numbers.
+
+The benchmark suite writes its reproduced figures/tables to
+``artifacts/``; these tests recompute two of the headline numbers through
+the library entry points and require them to match the recorded artifacts
+*exactly* — any drift in the DCT, smoothing, peak extraction, distance or
+threshold-learning code shows up here immediately:
+
+* the Fig. 11 Zone BC/D decision boundary (recorded ``0.3978``), and
+* the Table III peak-harmonic confusion matrix at 15 training samples.
+
+Both are computed through the scalar reference *and* the batch runtime,
+so the goldens double as an end-to-end parity check on real
+(synthesizer + MEMS sensor) data rather than toy workloads.
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import evaluate_labels
+from repro.core.classify import (
+    ZONE_A,
+    ZONES,
+    OrderedThresholdClassifier,
+    PeakHarmonicFeature,
+)
+from repro.core.distance import peak_harmonic_distance
+from repro.core.peaks import extract_harmonic_peaks, extract_harmonic_peaks_batch
+from repro.core.rul import learn_zone_d_threshold
+from repro.runtime import BatchPeakHarmonicFeature, PeakFeatureCache
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+ARTIFACTS_DIR = REPO_ROOT / "artifacts"
+
+# The benchmark workload generators live in benchmarks/common.py; reuse
+# them so the goldens replay the exact recorded recipe.
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from common import PAPER_LABEL_COUNTS, labelled_zone_dataset, stratified_train_test  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def paper_dataset():
+    return labelled_zone_dataset(
+        PAPER_LABEL_COUNTS[ZONE_A],
+        PAPER_LABEL_COUNTS["BC"],
+        PAPER_LABEL_COUNTS["D"],
+        seed=0,
+    )
+
+
+class TestFig11BoundaryGolden:
+    def test_boundary_matches_recorded_artifact(self, paper_dataset):
+        with open(ARTIFACTS_DIR / "fig11_boundary.csv", newline="") as fh:
+            recorded = next(csv.DictReader(fh))["boundary"]
+
+        psds, labels, freqs = (
+            paper_dataset["psds"],
+            paper_dataset["labels"],
+            paper_dataset["freqs"],
+        )
+        # Fig. 11 recipe: Zone A exemplar from 25 healthy samples.
+        rng = np.random.default_rng(1)
+        a_idx = np.nonzero(labels == ZONE_A)[0]
+        train_a = rng.choice(a_idx, size=25, replace=False)
+
+        scalar_feature = PeakHarmonicFeature().fit(psds[train_a], freqs)
+        da_scalar = scalar_feature.score_many(psds, freqs)
+        boundary = learn_zone_d_threshold(da_scalar, labels)
+        assert f"{boundary:.4f}" == recorded
+
+        # The batch feature must land on the identical boundary.
+        batch_feature = BatchPeakHarmonicFeature(cache=PeakFeatureCache()).fit(
+            psds[train_a], freqs
+        )
+        da_batch = batch_feature.score_many(psds, freqs)
+        assert np.array_equal(da_scalar, da_batch)
+        assert learn_zone_d_threshold(da_batch, labels) == boundary
+
+
+class TestTable3ConfusionGolden:
+    def test_peak_harmonic_confusion_matches_recorded_artifact(self, paper_dataset):
+        recorded = np.zeros((3, 3), dtype=int)
+        with open(ARTIFACTS_DIR / "table3_confusion.csv", newline="") as fh:
+            for row in csv.DictReader(fh):
+                if row["metric"] != "peak_harmonic":
+                    continue
+                i = ZONES.index(row["true_zone"])
+                j = ZONES.index(row["pred_zone"])
+                recorded[i, j] = int(row["count"])
+        assert recorded.sum() > 0, "artifact is missing peak_harmonic rows"
+
+        psds, labels, freqs = (
+            paper_dataset["psds"],
+            paper_dataset["labels"],
+            paper_dataset["freqs"],
+        )
+        # Table III's split comes from the Fig. 12-14 sweep: one rng walks
+        # the training sizes (5, 10, 15, ...) and the confusion matrix is
+        # captured at 15 total samples, i.e. the third draw.
+        rng = np.random.default_rng(42)
+        for per_class in (1, 3):  # totals 5 and 10 consume these draws
+            stratified_train_test(labels, per_class, rng)
+        train_idx, test_idx = stratified_train_test(labels, 5, rng)
+
+        a_train = train_idx[labels[train_idx] == ZONE_A]
+        baseline_psd = psds[a_train].mean(axis=0)
+        baseline = extract_harmonic_peaks(baseline_psd, freqs)
+
+        peaks = extract_harmonic_peaks_batch(psds, freqs)
+        da = np.asarray([peak_harmonic_distance(p, baseline) for p in peaks])
+
+        clf = OrderedThresholdClassifier().fit(da[train_idx], labels[train_idx])
+        report = evaluate_labels(labels[test_idx], clf.predict(da[test_idx]))
+        assert np.array_equal(report.matrix, recorded)
+
+        # Derived headline number: overall accuracy over the table.
+        accuracy = report.matrix.trace() / report.matrix.sum()
+        recorded_accuracy = recorded.trace() / recorded.sum()
+        assert accuracy == recorded_accuracy
