@@ -20,11 +20,21 @@ from repro.core.peaks import extract_harmonic_peaks
 from repro.core.pipeline import AnalysisPipeline, PipelineConfig, PipelineResult
 from repro.core.ransac import LineModel
 from repro.core.rul import RULPrediction
-from repro.runtime.batch import BatchPipeline
+from repro.runtime.batch import BatchPipeline, finite_block_mask
 from repro.runtime.fleet import FleetExecutor
 from repro.runtime.profile import RuntimeProfile
 from repro.storage.api import DataRetrievalAPI
 from repro.storage.records import MaintenanceEvent
+
+
+class InsufficientDataError(ValueError):
+    """The analysis period holds too little usable data to analyze.
+
+    Raised instead of a bare :class:`ValueError` so callers practicing
+    graceful degradation (the chaos runner, a report scheduler) can tell
+    "nothing to analyze yet" apart from genuine programming errors while
+    existing ``except ValueError`` callers keep working.
+    """
 
 
 @dataclass(frozen=True)
@@ -62,6 +72,43 @@ class EngineConfig:
 
 
 @dataclass
+class DataHealth:
+    """Accounting of measurements the engine could not analyze.
+
+    Attributes:
+        total_retrieved: measurements the retrieval API returned for the
+            period (after majority-``K`` stacking but before the
+            finite-value quarantine).
+        analyzed: measurements that actually entered the pipeline.
+        quarantined_nonfinite: pump id → measurements quarantined for
+            containing NaN/Inf samples.
+        dropped_incomplete: pump id → measurements dropped for not
+            matching the majority block length ``K``.
+        dead_letters: upstream dead-letter records associated with this
+            run (transport/gateway quarantine; filled in by the caller
+            that owns the dead-letter queue).
+    """
+
+    total_retrieved: int
+    analyzed: int
+    quarantined_nonfinite: dict[int, int] = field(default_factory=dict)
+    dropped_incomplete: dict[int, int] = field(default_factory=dict)
+    dead_letters: int = 0
+
+    @property
+    def n_quarantined(self) -> int:
+        return sum(self.quarantined_nonfinite.values())
+
+    @property
+    def n_dropped(self) -> int:
+        return sum(self.dropped_incomplete.values())
+
+    @property
+    def has_issues(self) -> bool:
+        return bool(self.n_quarantined or self.n_dropped or self.dead_letters)
+
+
+@dataclass
 class AnalysisReport:
     """Everything one engine run produced.
 
@@ -75,6 +122,8 @@ class AnalysisReport:
         n_labels_used: how many valid expert labels trained the models.
         diagnoses: per-pump spectral fault diagnosis (empty when the
             engine was configured without a rotation frequency).
+        data_health: quarantine / drop accounting for the run; ``None``
+            only for reports built by legacy callers.
     """
 
     pump_ids: np.ndarray
@@ -85,6 +134,7 @@ class AnalysisReport:
     wasted_rul: dict
     n_labels_used: int
     diagnoses: dict[int, Diagnosis] = field(default_factory=dict)
+    data_health: DataHealth | None = None
 
     @property
     def lifetime_models(self) -> list[LineModel]:
@@ -121,17 +171,33 @@ class AnalysisReport:
 class VibrationAnalysisEngine:
     """Orchestrates retrieval → pipeline → report for one analysis period."""
 
-    def __init__(self, api: DataRetrievalAPI, config: EngineConfig | None = None):
+    def __init__(
+        self,
+        api: DataRetrievalAPI,
+        config: EngineConfig | None = None,
+        executor: FleetExecutor | None = None,
+    ):
+        """Create an engine.
+
+        Args:
+            api: period-scoped retrieval facade.
+            config: engine configuration (defaults apply when None).
+            executor: optional pre-built fleet executor for the batch
+                runtime — the chaos runner passes one carrying its fault
+                injector; None builds a plain executor from
+                ``config.max_workers``.
+        """
         self.api = api
         self.config = config or EngineConfig()
+        self.executor = executor
 
     def _make_pipeline(self) -> AnalysisPipeline:
         """Pipeline instance per the configured runtime path."""
         if self.config.use_batch_runtime:
-            return BatchPipeline(
-                self.config.pipeline,
-                executor=FleetExecutor(max_workers=self.config.max_workers),
+            executor = self.executor or FleetExecutor(
+                max_workers=self.config.max_workers
             )
+            return BatchPipeline(self.config.pipeline, executor=executor)
         return AnalysisPipeline(self.config.pipeline)
 
     def run(self, profile: RuntimeProfile | None = None) -> AnalysisReport:
@@ -144,15 +210,43 @@ class VibrationAnalysisEngine:
                 stage; the scalar reference reports one aggregate stage.
 
         Raises:
-            ValueError: when the period holds no measurements or no valid
-                labels cover all three zones (the pipeline needs at least
-                one labelled example per zone to learn its thresholds).
+            InsufficientDataError: when the period holds no (finite)
+                measurements or no valid labels survive into it (the
+                pipeline needs labelled examples to learn its
+                thresholds).  A :class:`ValueError` subclass, so legacy
+                callers keep working.
         """
-        pumps, mids, service, samples = self.api.measurement_matrices()
+        matrices = self.api.measurement_matrices_with_health()
+        pumps, mids, service, samples, dropped_incomplete = matrices
+        total_retrieved = int(pumps.size)
         if pumps.size == 0:
-            raise ValueError("analysis period contains no measurements")
+            raise InsufficientDataError("analysis period contains no measurements")
 
-        # Map stored labels onto the retrieved measurement ordering.
+        # Quarantine non-finite blocks (corrupted uploads, poisoned
+        # storage reads) instead of letting them fail the whole run.
+        finite = finite_block_mask(samples)
+        quarantined_nonfinite: dict[int, int] = {}
+        if not finite.all():
+            for pump in pumps[~finite]:
+                pump = int(pump)
+                quarantined_nonfinite[pump] = quarantined_nonfinite.get(pump, 0) + 1
+            pumps = pumps[finite]
+            mids = mids[finite]
+            service = service[finite]
+            samples = samples[finite]
+        if pumps.size == 0:
+            raise InsufficientDataError(
+                "analysis period contains no finite measurements"
+            )
+        health = DataHealth(
+            total_retrieved=total_retrieved,
+            analyzed=int(pumps.size),
+            quarantined_nonfinite=quarantined_nonfinite,
+            dropped_incomplete=dropped_incomplete,
+        )
+
+        # Map stored labels onto the retrieved measurement ordering
+        # (after the quarantine, so indices address surviving rows).
         position = {
             (int(p), int(m)): idx for idx, (p, m) in enumerate(zip(pumps, mids))
         }
@@ -162,7 +256,9 @@ class VibrationAnalysisEngine:
             if idx is not None:
                 train_labels[idx] = record.zone
         if not train_labels:
-            raise ValueError("no valid labels fall inside the analysis period")
+            raise InsufficientDataError(
+                "no valid labels fall inside the analysis period"
+            )
 
         pipeline = self._make_pipeline()
         if isinstance(pipeline, BatchPipeline):
@@ -189,6 +285,7 @@ class VibrationAnalysisEngine:
             wasted_rul=wasted,
             n_labels_used=len(train_labels),
             diagnoses=diagnoses,
+            data_health=health,
         )
 
     def _diagnose(

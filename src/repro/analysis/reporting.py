@@ -144,6 +144,27 @@ def render_report(report: AnalysisReport, horizon_days: float = 30.0) -> str:
             diagnosis = report.diagnoses[pump]
             lines.append(f"  pump {pump}: {diagnosis.label}")
 
+    data_health = report.data_health
+    if data_health is not None and data_health.has_issues:
+        lines.append("")
+        lines.append("DATA HEALTH:")
+        lines.append(
+            f"  analyzed {data_health.analyzed} of "
+            f"{data_health.total_retrieved} retrieved measurements; "
+            f"{data_health.n_quarantined} quarantined (non-finite), "
+            f"{data_health.n_dropped} dropped (incomplete), "
+            f"{data_health.dead_letters} dead-lettered upstream"
+        )
+        affected = sorted(
+            set(data_health.quarantined_nonfinite) | set(data_health.dropped_incomplete)
+        )
+        for pump in affected:
+            quarantined = data_health.quarantined_nonfinite.get(pump, 0)
+            dropped = data_health.dropped_incomplete.get(pump, 0)
+            lines.append(
+                f"  pump {pump}: {quarantined} quarantined, {dropped} dropped"
+            )
+
     wasted = report.wasted_rul
     lines.append("")
     lines.append("MAINTENANCE COST (analysis window):")

@@ -1,0 +1,62 @@
+"""Chaos engineering harness: deterministic fault injection + robustness.
+
+Public surface:
+
+* :mod:`repro.chaos.plan` — :class:`FaultPlan` / :class:`FaultSpec`
+  descriptions of chaos experiments, plus the built-in plan catalog;
+* :mod:`repro.chaos.inject` — the seedable :class:`FaultInjector` the
+  core pipeline hooks call (duck-typed; core modules never import this
+  package);
+* :mod:`repro.chaos.retry` — retry policies, circuit breaker and the
+  simulated clock shared by the robustness layer;
+* :mod:`repro.chaos.runner` — the end-to-end scenario runner the chaos
+  test suite drives.
+"""
+
+from repro.chaos.inject import ChaosError, FaultEvent, FaultInjector
+from repro.chaos.plan import (
+    BUILTIN_PLANS,
+    FAULT_KINDS,
+    INJECTION_POINTS,
+    ZERO_FAULTS,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.chaos.retry import (
+    CircuitBreaker,
+    MonotonicClock,
+    RetryExhaustedError,
+    RetryPolicy,
+    RetrySession,
+    SimulatedClock,
+    TransientError,
+)
+from repro.chaos.runner import (
+    ChaosResult,
+    ChaosScenario,
+    run_chaos_scenario,
+    simulate_fleet,
+)
+
+__all__ = [
+    "BUILTIN_PLANS",
+    "FAULT_KINDS",
+    "INJECTION_POINTS",
+    "ZERO_FAULTS",
+    "ChaosError",
+    "ChaosResult",
+    "ChaosScenario",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "MonotonicClock",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "RetrySession",
+    "SimulatedClock",
+    "TransientError",
+    "run_chaos_scenario",
+    "simulate_fleet",
+]

@@ -1,0 +1,246 @@
+"""Retry policy: bounded exponential backoff, deadlines, circuit breaking.
+
+The sensor network and storage layers previously had exactly two failure
+modes: raise (poisoning a whole fleet run) or silently give up (a Flush
+transfer that exhausts its round budget).  This module supplies the
+middle ground every layer now shares:
+
+* :class:`RetryPolicy` — immutable description of a retry discipline:
+  bounded attempts, exponential backoff with deterministic jitter, and
+  an optional per-operation deadline;
+* :class:`RetrySession` — one operation's live retry state (attempt
+  counter, RNG, clock), created via :meth:`RetryPolicy.session`;
+* :class:`CircuitBreaker` — per-key (per-mote) failure tracking that
+  stops hammering an endpoint which has failed repeatedly, with a
+  half-open probe after a recovery window;
+* :class:`SimulatedClock` — a manual clock so tests (and the chaos
+  harness) exercise real backoff schedules without real sleeping.
+
+Core modules receive these objects duck-typed (``retry=None`` defaults
+everywhere), so nothing outside the chaos package imports it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class TransientError(RuntimeError):
+    """Base class for failures a retry policy should absorb."""
+
+
+class RetryExhaustedError(RuntimeError):
+    """An operation failed through every allowed attempt.
+
+    Attributes:
+        attempts: how many attempts were made.
+        last_error: the final underlying exception (None when the
+            operation signalled failure without raising).
+    """
+
+    def __init__(self, message: str, attempts: int, last_error: BaseException | None = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class MonotonicClock:
+    """Wall-clock implementation (the production default)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class SimulatedClock:
+    """Manual clock: ``sleep`` advances ``now`` without blocking."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.slept = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._now += seconds
+        self.slept += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Let simulated time pass without counting it as backoff sleep."""
+        if seconds < 0:
+            raise ValueError("cannot advance backwards")
+        self._now += seconds
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    Attributes:
+        max_attempts: total attempts allowed (1 = no retries).
+        base_delay_s: backoff before the first retry.
+        multiplier: backoff growth factor per retry.
+        max_delay_s: backoff ceiling.
+        jitter: symmetric jitter fraction applied to each delay (0.1 ⇒
+            ±10%); drawn from a seeded RNG so schedules are replayable.
+        timeout_s: optional per-operation deadline measured on the
+            session's clock; a retry whose backoff would cross the
+            deadline is not attempted.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.1
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    def delay_for(self, attempt: int, rng: np.random.Generator | None = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt must be positive")
+        delay = min(self.base_delay_s * self.multiplier ** (attempt - 1), self.max_delay_s)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return max(delay, 0.0)
+
+    def session(self, seed: int = 0, clock=None) -> "RetrySession":
+        """A fresh per-operation retry session."""
+        return RetrySession(self, seed=seed, clock=clock)
+
+    def run(self, fn, *, retry_on: tuple = (TransientError,), seed: int = 0, clock=None):
+        """Call ``fn`` under this policy, retrying designated failures.
+
+        Raises:
+            RetryExhaustedError: when every allowed attempt failed (the
+                final underlying exception is chained and attached).
+        """
+        session = self.session(seed=seed, clock=clock)
+        while True:
+            try:
+                return fn()
+            except retry_on as exc:
+                if not session.backoff():
+                    raise RetryExhaustedError(
+                        f"gave up after {session.attempts} attempts: {exc}",
+                        attempts=session.attempts,
+                        last_error=exc,
+                    ) from exc
+
+
+class RetrySession:
+    """Live retry state for one operation.
+
+    Attributes:
+        attempts: attempts made so far (starts at 1 — the caller is
+            assumed to be inside its first attempt).
+    """
+
+    def __init__(self, policy: RetryPolicy, seed: int = 0, clock=None):
+        self.policy = policy
+        self.clock = clock if clock is not None else MonotonicClock()
+        self._rng = np.random.default_rng(seed)
+        self._started = self.clock.now()
+        self.attempts = 1
+
+    def backoff(self) -> bool:
+        """Sleep the next backoff and allow another attempt.
+
+        Returns False (without sleeping) when the attempt budget or the
+        deadline is exhausted — the caller must give up.
+        """
+        if self.attempts >= self.policy.max_attempts:
+            return False
+        delay = self.policy.delay_for(self.attempts, self._rng)
+        if self.policy.timeout_s is not None:
+            elapsed = self.clock.now() - self._started
+            if elapsed + delay > self.policy.timeout_s:
+                return False
+        self.clock.sleep(delay)
+        self.attempts += 1
+        return True
+
+
+class CircuitBreaker:
+    """Per-key failure tracker with open/half-open/closed states.
+
+    After ``failure_threshold`` consecutive failures a key's circuit
+    opens: :meth:`allow` answers False until ``recovery_time_s`` has
+    passed, after which exactly one probe is allowed (half-open).  A
+    success closes the circuit; another failure re-opens it for a fresh
+    recovery window.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_time_s: float = 600.0,
+        clock=None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if recovery_time_s <= 0:
+            raise ValueError("recovery_time_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = recovery_time_s
+        self.clock = clock if clock is not None else MonotonicClock()
+        self._failures: dict[object, int] = {}
+        self._opened_at: dict[object, float] = {}
+        self._probing: set[object] = set()
+
+    def state(self, key) -> str:
+        if key not in self._opened_at:
+            return self.CLOSED
+        if self.clock.now() - self._opened_at[key] >= self.recovery_time_s:
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def allow(self, key) -> bool:
+        """May the caller attempt this key right now?"""
+        state = self.state(key)
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN and key not in self._probing:
+            self._probing.add(key)
+            return True
+        return False
+
+    def record_success(self, key) -> None:
+        self._failures.pop(key, None)
+        self._opened_at.pop(key, None)
+        self._probing.discard(key)
+
+    def record_failure(self, key) -> None:
+        self._failures[key] = self._failures.get(key, 0) + 1
+        self._probing.discard(key)
+        if self._failures[key] >= self.failure_threshold:
+            self._opened_at[key] = self.clock.now()
+
+    def open_keys(self) -> list:
+        """Keys whose circuit is currently open or half-open."""
+        return sorted(self._opened_at, key=repr)

@@ -55,6 +55,28 @@ from repro.runtime.profile import RuntimeProfile
 DEFAULT_CHUNK_ROWS = 8192
 
 
+def finite_block_mask(blocks: np.ndarray) -> np.ndarray:
+    """Boolean mask of measurement blocks that are entirely finite.
+
+    The transform stage refuses non-finite input (a NaN row would poison
+    the vectorized DCT), so the engine quarantines offending rows up
+    front using this mask instead of failing the whole fleet run.
+
+    Args:
+        blocks: stacked measurement matrix, shape ``(N, K, 3)`` (or any
+            ``(N, ...)`` array — all trailing axes are reduced).
+
+    Returns:
+        Shape ``(N,)`` boolean array; ``True`` where every sample of the
+        block is finite.
+    """
+    arr = np.asarray(blocks, dtype=np.float64)
+    if arr.ndim < 2:
+        return np.isfinite(arr)
+    axes = tuple(range(1, arr.ndim))
+    return np.isfinite(arr).all(axis=axes)
+
+
 class BatchPeakHarmonicFeature(PeakHarmonicFeature):
     """Cache-backed, batch-extracting variant of the ``D_a`` feature.
 

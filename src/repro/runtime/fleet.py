@@ -24,6 +24,7 @@ compare against.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -31,6 +32,12 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 DEFAULT_MAX_WORKERS = 4
+
+#: Injection point name (duck-typed contract with repro.chaos.inject).
+FLEET_TASK_POINT = "fleet.task"
+
+#: Cap on injected per-task delay so chaos suites stay fast.
+MAX_INJECTED_DELAY_S = 0.1
 
 
 def resolve_workers(max_workers: int | None) -> int:
@@ -50,7 +57,13 @@ def resolve_workers(max_workers: int | None) -> int:
 class FleetExecutor:
     """Chunked, order-preserving parallel map over per-pump work items."""
 
-    def __init__(self, max_workers: int | None = None, chunk_size: int | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+        injector=None,
+        task_retry=None,
+    ):
         """Create an executor.
 
         Args:
@@ -59,11 +72,38 @@ class FleetExecutor:
             chunk_size: work items per scheduled chunk; ``None`` derives
                 ``ceil(n / (4 * workers))`` per call so every worker gets
                 a few chunks to smooth uneven per-pump costs.
+            injector: optional chaos fault injector; every task is
+                faulted at ``fleet.task`` (injected delays and transient
+                errors), in serial and pooled mode alike so the fault
+                stream is identical for both.
+            task_retry: optional retry policy (duck-typed
+                :class:`repro.chaos.retry.RetryPolicy`) wrapping each
+                task; transient errors are retried in place, preserving
+                result ordering.
         """
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         self.max_workers = resolve_workers(max_workers)
         self.chunk_size = chunk_size
+        self.injector = injector
+        self.task_retry = task_retry
+
+    def _call(self, fn: Callable[[T], R], item: T) -> R:
+        """Run one task through the fault / retry envelope."""
+        if self.injector is None and self.task_retry is None:
+            return fn(item)
+
+        def attempt() -> R:
+            if self.injector is not None:
+                delay = self.injector.delay_s(FLEET_TASK_POINT)
+                if delay > 0:
+                    time.sleep(min(delay, MAX_INJECTED_DELAY_S))
+                self.injector.maybe_fail(FLEET_TASK_POINT)
+            return fn(item)
+
+        if self.task_retry is not None:
+            return self.task_retry.run(attempt)
+        return attempt()
 
     def _chunks(self, n: int) -> list[range]:
         size = self.chunk_size
@@ -82,10 +122,10 @@ class FleetExecutor:
         if n == 0:
             return []
         if self.max_workers <= 1 or n == 1:
-            return [fn(item) for item in items]
+            return [self._call(fn, item) for item in items]
 
         def run_chunk(chunk: range) -> list[R]:
-            return [fn(items[i]) for i in chunk]
+            return [self._call(fn, items[i]) for i in chunk]
 
         chunks = self._chunks(n)
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:

@@ -13,6 +13,17 @@ faithfully:
 4. rounds repeat until the receiver holds the complete set or the round
    budget is exhausted (a dead link must not wedge the mote's schedule).
 
+On top of the protocol, :func:`flush_transfer` supports the robustness
+layer of the chaos harness:
+
+* an optional duck-typed fault ``injector`` (see
+  :mod:`repro.chaos.inject`) faults data packets at the ``flush.data``
+  point and NACKs at ``flush.nack``;
+* an optional ``retry`` session (see :mod:`repro.chaos.retry`) turns the
+  old give-up-after-the-round-budget behaviour into bounded
+  exponential-backoff re-attempts on the fragments still missing, with a
+  per-transfer deadline.
+
 A best-effort sender (no recovery) is provided for the ablation benchmark
 comparing measurement recovery rates under loss.
 """
@@ -24,6 +35,11 @@ from dataclasses import dataclass
 from repro.sensornet.packets import DataPacket
 from repro.sensornet.radio import LossyLink
 
+#: Injection point names (duck-typed contract with repro.chaos.inject;
+#: spelled out here so this module never imports the chaos package).
+FLUSH_DATA_POINT = "flush.data"
+FLUSH_NACK_POINT = "flush.nack"
+
 
 @dataclass
 class FlushStats:
@@ -31,11 +47,18 @@ class FlushStats:
 
     Attributes:
         success: True when the receiver holds every fragment.
-        rounds: number of send/NACK rounds used.
+        rounds: number of send/NACK rounds used (across all attempts).
         data_transmissions: data-packet transmissions (including
             retransmissions).
         nack_transmissions: NACK control messages sent by the receiver.
         delivered: fragments the receiver ended up holding.
+        retransmissions: data-packet transmissions beyond each
+            fragment's first (the protocol's recovery overhead).
+        duplicates: fragments that arrived at the receiver more than
+            once (late or injected duplicates; first arrival wins).
+        out_of_order: fragments that arrived below the highest sequence
+            number already held (reordering observed by the receiver).
+        attempts: transfer attempts, 1 plus any retry-policy re-runs.
     """
 
     success: bool
@@ -43,18 +66,39 @@ class FlushStats:
     data_transmissions: int
     nack_transmissions: int
     delivered: int
+    retransmissions: int = 0
+    duplicates: int = 0
+    out_of_order: int = 0
+    attempts: int = 1
 
 
 class FlushReceiver:
-    """Base-station side: collects fragments and issues NACKs."""
+    """Base-station side: collects fragments and issues NACKs.
+
+    Duplicate fragments are counted and ignored (first arrival wins):
+    a retransmitted fragment that raced a NACK must not overwrite data
+    the receiver already committed, and the duplicate count is the
+    operational signal of a lossy NACK channel.  Arrivals below the
+    highest held sequence number are counted as out-of-order.
+    """
 
     def __init__(self, total: int):
         if total < 1:
             raise ValueError("total must be positive")
         self.total = total
         self.received: dict[int, DataPacket] = {}
+        self.duplicates = 0
+        self.out_of_order = 0
+        self._highest_seq = -1
 
     def accept(self, packet: DataPacket) -> None:
+        if packet.seq in self.received:
+            self.duplicates += 1
+            return
+        if packet.seq < self._highest_seq:
+            self.out_of_order += 1
+        else:
+            self._highest_seq = packet.seq
         self.received[packet.seq] = packet
 
     @property
@@ -72,20 +116,33 @@ class FlushReceiver:
 class FlushSender:
     """Mote side: streams fragments and serves NACK retransmissions."""
 
-    def __init__(self, packets: list[DataPacket], link: LossyLink):
+    def __init__(self, packets: list[DataPacket], link: LossyLink, injector=None):
         if not packets:
             raise ValueError("nothing to send")
         self.packets = list(packets)
         self.link = link
+        self.injector = injector
         self.data_transmissions = 0
+        self.retransmissions = 0
+        self._by_seq = {p.seq: p for p in self.packets}
+        self._send_counts: dict[int, int] = {}
 
     def send(self, seqs: list[int], receiver: FlushReceiver) -> None:
         """Transmit the given fragments over the lossy link."""
-        by_seq = {p.seq: p for p in self.packets}
         for seq in seqs:
             self.data_transmissions += 1
-            if self.link.transmit():
-                receiver.accept(by_seq[seq])
+            sent_before = self._send_counts.get(seq, 0)
+            if sent_before:
+                self.retransmissions += 1
+            self._send_counts[seq] = sent_before + 1
+            if not self.link.transmit():
+                continue
+            packet = self._by_seq[seq]
+            if self.injector is None:
+                receiver.accept(packet)
+                continue
+            for delivered in self.injector.deliver_packet(FLUSH_DATA_POINT, packet):
+                receiver.accept(delivered)
 
 
 def flush_transfer(
@@ -93,17 +150,27 @@ def flush_transfer(
     link: LossyLink,
     max_rounds: int = 20,
     nack_link: LossyLink | None = None,
+    injector=None,
+    retry=None,
 ) -> tuple[FlushStats, list[DataPacket]]:
     """Run one Flush bulk transfer of a fragmented measurement.
 
     Args:
         packets: the full fragment set of one measurement.
         link: mote→base-station data link.
-        max_rounds: round budget before the transfer is abandoned.
+        max_rounds: round budget before one attempt is abandoned.
         nack_link: base-station→mote control link; defaults to the data
             link's loss characteristics (NACKs can be lost too — a lost
             NACK simply causes the next round to retransmit everything
             still missing, so correctness is unaffected).
+        injector: optional chaos fault injector; faults data packets at
+            ``flush.data`` and NACK deliveries at ``flush.nack``.
+        retry: optional retry session (duck-typed
+            :class:`repro.chaos.retry.RetrySession`); when an attempt
+            exhausts its round budget, ``retry.backoff()`` decides
+            whether to re-attempt the still-missing fragments after a
+            backoff, bounding both attempts and total elapsed time
+            instead of the old single-shot give-up.
 
     Returns:
         ``(stats, received_packets)``; the packet list is complete only
@@ -114,24 +181,39 @@ def flush_transfer(
     if not packets:
         raise ValueError("nothing to send")
     receiver = FlushReceiver(total=packets[0].total)
-    sender = FlushSender(packets, link)
+    sender = FlushSender(packets, link, injector=injector)
     control = nack_link if nack_link is not None else link
 
     nack_transmissions = 0
     rounds = 0
+    attempts = 0
     outstanding = [p.seq for p in packets]
-    while rounds < max_rounds:
-        rounds += 1
-        sender.send(outstanding, receiver)
-        if receiver.complete:
+    while True:
+        attempts += 1
+        attempt_rounds = 0
+        while attempt_rounds < max_rounds:
+            attempt_rounds += 1
+            rounds += 1
+            sender.send(outstanding, receiver)
+            if receiver.complete:
+                break
+            # Receiver sends a NACK; if it is lost the sender retransmits
+            # the last outstanding set again next round (it learned
+            # nothing new).
+            nack_transmissions += 1
+            nack_delivered = control.transmit()
+            if nack_delivered and injector is not None:
+                nack_delivered = not injector.drops(FLUSH_NACK_POINT)
+            if nack_delivered:
+                outstanding = receiver.missing()
+            # A NACK that arrives empty cannot happen here (complete
+            # breaks above), so outstanding is always non-empty.
+        if receiver.complete or retry is None:
             break
-        # Receiver sends a NACK; if it is lost the sender retransmits the
-        # last outstanding set again next round (it learned nothing new).
-        nack_transmissions += 1
-        if control.transmit():
-            outstanding = receiver.missing()
-        # A NACK that arrives empty cannot happen here (complete breaks
-        # above), so outstanding is always non-empty at this point.
+        if not retry.backoff():
+            break
+        # Fresh attempt on whatever is still missing.
+        outstanding = receiver.missing()
 
     stats = FlushStats(
         success=receiver.complete,
@@ -139,6 +221,10 @@ def flush_transfer(
         data_transmissions=sender.data_transmissions,
         nack_transmissions=nack_transmissions,
         delivered=len(receiver.received),
+        retransmissions=sender.retransmissions,
+        duplicates=receiver.duplicates,
+        out_of_order=receiver.out_of_order,
+        attempts=attempts,
     )
     return stats, receiver.packets()
 
@@ -146,6 +232,7 @@ def flush_transfer(
 def best_effort_transfer(
     packets: list[DataPacket],
     link: LossyLink,
+    injector=None,
 ) -> tuple[FlushStats, list[DataPacket]]:
     """Single-pass transfer with no recovery (ablation baseline).
 
@@ -154,7 +241,7 @@ def best_effort_transfer(
     ``(1 - loss)^120`` — the paper's motivation for using Flush.
     """
     receiver = FlushReceiver(total=packets[0].total)
-    sender = FlushSender(packets, link)
+    sender = FlushSender(packets, link, injector=injector)
     sender.send([p.seq for p in packets], receiver)
     stats = FlushStats(
         success=receiver.complete,
@@ -162,5 +249,8 @@ def best_effort_transfer(
         data_transmissions=sender.data_transmissions,
         nack_transmissions=0,
         delivered=len(receiver.received),
+        retransmissions=sender.retransmissions,
+        duplicates=receiver.duplicates,
+        out_of_order=receiver.out_of_order,
     )
     return stats, receiver.packets()

@@ -24,6 +24,10 @@ from repro.storage.records import Measurement
 
 SECONDS_PER_DAY = 86_400.0
 
+#: Injection point names (duck-typed contract with repro.chaos.inject).
+GATEWAY_CONVERT_POINT = "gateway.convert"
+STORAGE_WRITE_POINT = "storage.write"
+
 
 @dataclass(frozen=True)
 class SensorCalibration:
@@ -84,14 +88,68 @@ class GatewayBridge:
         self,
         delivered: list[DeliveredMeasurement],
         database: VibrationDatabase,
+        *,
+        injector=None,
+        dead_letters=None,
+        retry=None,
+        retry_clock=None,
     ) -> int:
         """Convert and store a batch; returns the number stored.
 
+        With ``dead_letters`` set (a duck-typed
+        :class:`~repro.storage.deadletter.DeadLetterQueue`), measurements
+        that fail conversion — unknown sensor, structurally broken count
+        block — are quarantined there and the rest of the batch is
+        stored, instead of the strict all-or-nothing rejection.  With a
+        ``retry`` policy, the database write is retried under bounded
+        backoff when it raises a transient error.
+
+        Args:
+            delivered: recovered radio measurements.
+            database: destination sensor database.
+            injector: optional chaos fault injector; faults deliveries
+                at ``gateway.convert`` and the write at
+                ``storage.write``.
+            dead_letters: optional quarantine queue; ``None`` keeps the
+                strict behaviour (any conversion error raises and the
+                whole batch is rejected, so the store never holds
+                partially-converted data).
+            retry: optional retry policy (duck-typed
+                :class:`repro.chaos.retry.RetryPolicy`) for the write.
+            retry_clock: clock for the retry policy's backoff (tests use
+                a simulated clock).
+
         Raises:
-            KeyError: when any measurement comes from an uncalibrated
-                sensor (the whole batch is rejected so the store never
-                holds partially-converted data).
+            KeyError: conversion of an uncalibrated sensor's measurement
+                when no dead-letter queue was provided.
         """
-        records = [self.to_measurement(d) for d in delivered]
-        database.measurements.add_many(records)
+        records = []
+        for item in delivered:
+            if injector is not None:
+                item = injector.mutate_delivery(GATEWAY_CONVERT_POINT, item)
+                if item is None:
+                    continue
+            try:
+                records.append(self.to_measurement(item))
+            except (KeyError, ValueError) as exc:
+                if dead_letters is None:
+                    raise
+                dead_letters.add(
+                    stage="gateway",
+                    pump_id=item.sensor_id,
+                    measurement_id=item.measurement_id,
+                    reason="conversion-failed",
+                    detail=str(exc),
+                    timestamp_day=item.wakeup_time_s / SECONDS_PER_DAY,
+                )
+
+        def write() -> None:
+            if injector is not None:
+                injector.maybe_fail(STORAGE_WRITE_POINT)
+            database.measurements.add_many(records)
+
+        if retry is not None:
+            retry.run(write, clock=retry_clock)
+        else:
+            write()
         return len(records)

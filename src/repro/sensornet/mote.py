@@ -61,6 +61,8 @@ class Mote:
         sampling_rate_hz: float = 4000.0,
         energy: EnergyConfig | None = None,
         max_flush_rounds: int = 20,
+        injector=None,
+        retry_policy=None,
     ):
         """Create a mote.
 
@@ -73,6 +75,11 @@ class Mote:
             sampling_rate_hz: configured sampling rate.
             energy: battery model configuration.
             max_flush_rounds: Flush round budget per transfer.
+            injector: optional chaos fault injector passed through to
+                every Flush transfer.
+            retry_policy: optional retry policy (duck-typed
+                :class:`repro.chaos.retry.RetryPolicy`); each transfer
+                gets a fresh session seeded by its measurement id.
         """
         if sampling_rate_hz <= 0:
             raise ValueError("sampling_rate_hz must be positive")
@@ -82,6 +89,8 @@ class Mote:
         self.sampling_rate_hz = sampling_rate_hz
         self.battery = BatteryTracker(energy)
         self.max_flush_rounds = max_flush_rounds
+        self.injector = injector
+        self.retry_policy = retry_policy
         self.state = MoteState.SLEEP
         self.next_measurement_id = 0
         self.booted = False
@@ -122,7 +131,18 @@ class Mote:
         counts = self.measurement_source(measurement_id)
         self.battery.measure(self.sampling_rate_hz)
         packets = fragment_measurement(self.sensor_id, measurement_id, counts)
-        stats, received = flush_transfer(packets, self.link, max_rounds=self.max_flush_rounds)
+        retry = (
+            self.retry_policy.session(seed=measurement_id)
+            if self.retry_policy is not None
+            else None
+        )
+        stats, received = flush_transfer(
+            packets,
+            self.link,
+            max_rounds=self.max_flush_rounds,
+            injector=self.injector,
+            retry=retry,
+        )
 
         # Heartbeat period: one control packet to the management server.
         heartbeat_delivered = self.link.transmit()

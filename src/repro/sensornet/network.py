@@ -32,6 +32,12 @@ class CollectionStats:
         nack_transmissions: total NACK control messages.
         dead_motes: motes that ran out of battery during the run.
         missed_heartbeats: heartbeat packets lost in the air.
+        retransmissions: data packets sent beyond each fragment's first
+            transmission (the recovery overhead of the deployment).
+        duplicates: fragments received more than once at the base
+            station.
+        skipped_open_circuit: wakeup slots skipped because the mote's
+            circuit breaker was open.
     """
 
     attempted: int = 0
@@ -41,6 +47,9 @@ class CollectionStats:
     nack_transmissions: int = 0
     dead_motes: int = 0
     missed_heartbeats: int = 0
+    retransmissions: int = 0
+    duplicates: int = 0
+    skipped_open_circuit: int = 0
 
     @property
     def recovery_rate(self) -> float:
@@ -70,7 +79,12 @@ class SensorNetworkSimulator:
     the operational signal an overloaded deployment shows first.
     """
 
-    def __init__(self, scheduler: WakeupScheduler, contention_loss: float = 0.25):
+    def __init__(
+        self,
+        scheduler: WakeupScheduler,
+        contention_loss: float = 0.25,
+        breaker=None,
+    ):
         """Create a simulator.
 
         Args:
@@ -78,11 +92,16 @@ class SensorNetworkSimulator:
             contention_loss: extra per-packet loss probability applied to
                 every mote sharing its wakeup slot with at least one
                 other mote.
+            breaker: optional circuit breaker (duck-typed
+                :class:`repro.chaos.retry.CircuitBreaker`) keyed by
+                sensor id; motes whose circuit is open skip their slot
+                instead of burning battery on a dead link.
         """
         if not 0.0 <= contention_loss < 1.0:
             raise ValueError("contention_loss must be in [0, 1)")
         self.scheduler = scheduler
         self.contention_loss = contention_loss
+        self.breaker = breaker
         self._motes: dict[int, Mote] = {}
 
     def _contended_sensors(self) -> set[int]:
@@ -122,6 +141,9 @@ class SensorNetworkSimulator:
                 mote = self._motes[sensor_id]
                 if mote.state is MoteState.DEAD:
                     continue
+                if self.breaker is not None and not self.breaker.allow(sensor_id):
+                    stats.skipped_open_circuit += 1
+                    continue
                 entry = self.scheduler.entry(sensor_id)
                 now = entry.wakeup_time(round_index)
                 base_loss = mote.link.loss_probability
@@ -138,6 +160,13 @@ class SensorNetworkSimulator:
                 stats.attempted += 1
                 stats.data_transmissions += outcome.flush.data_transmissions
                 stats.nack_transmissions += outcome.flush.nack_transmissions
+                stats.retransmissions += outcome.flush.retransmissions
+                stats.duplicates += outcome.flush.duplicates
+                if self.breaker is not None:
+                    if outcome.flush.success:
+                        self.breaker.record_success(sensor_id)
+                    else:
+                        self.breaker.record_failure(sensor_id)
                 if outcome.flush.success:
                     counts = reassemble_measurement(outcome.packets)
                     delivered.append(

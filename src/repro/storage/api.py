@@ -24,6 +24,9 @@ from repro.storage.records import (
     TemperatureRecord,
 )
 
+#: Injection point name (duck-typed contract with repro.chaos.inject).
+STORAGE_READ_POINT = "storage.read"
+
 
 @dataclass(frozen=True)
 class AnalysisPeriod:
@@ -62,9 +65,31 @@ class AnalysisPeriod:
 class DataRetrievalAPI:
     """Typed retrieval facade scoped to an analysis period."""
 
-    def __init__(self, database: VibrationDatabase, period: AnalysisPeriod):
+    def __init__(
+        self,
+        database: VibrationDatabase,
+        period: AnalysisPeriod,
+        injector=None,
+        retry=None,
+        clock=None,
+    ):
+        """Create a retrieval facade.
+
+        Args:
+            database: the backing sensor database.
+            period: the initial analysis window.
+            injector: optional chaos fault injector; measurement reads
+                are faulted at ``storage.read``.
+            retry: optional retry policy (duck-typed
+                :class:`repro.chaos.retry.RetryPolicy`) applied to
+                transient read failures.
+            clock: clock for the retry policy's backoff.
+        """
         self._db = database
         self.period = period
+        self._injector = injector
+        self._retry = retry
+        self._clock = clock
 
     def advance(self, delta_days: float) -> None:
         """Slide the analysis window forward (periodic refresh)."""
@@ -74,10 +99,28 @@ class DataRetrievalAPI:
     # Retrieval endpoints.
     # ------------------------------------------------------------------
     def get_measurements(self, pump_ids: list[int] | None = None) -> list[Measurement]:
-        """Measurements inside the current analysis period."""
-        return self._db.measurements.query(
-            self.period.start_day, self.period.end_day, pump_ids
-        )
+        """Measurements inside the current analysis period.
+
+        A configured injector can fault the read (transient errors,
+        retried under the retry policy when one is set) and mutate the
+        returned records — the engine's quarantine logic downstream must
+        cope with whatever comes back.
+        """
+
+        def _fetch() -> list[Measurement]:
+            if self._injector is not None:
+                self._injector.maybe_fail(STORAGE_READ_POINT)
+            return self._db.measurements.query(
+                self.period.start_day, self.period.end_day, pump_ids
+            )
+
+        if self._retry is not None:
+            records = self._retry.run(_fetch, clock=self._clock)
+        else:
+            records = _fetch()
+        if self._injector is not None:
+            records = self._injector.mutate_measurements(STORAGE_READ_POINT, records)
+        return records
 
     def get_labels(self, pump_ids: list[int] | None = None) -> list[LabelRecord]:
         """Valid expert labels (invalid labels are discarded, as the paper does)."""
@@ -106,16 +149,36 @@ class DataRetrievalAPI:
         implements the "eliminating invalid measurements to prevent
         unwanted computations" step of the preprocessing layer.
         """
+        pumps, mids, service, samples, _ = self.measurement_matrices_with_health(
+            pump_ids
+        )
+        return pumps, mids, service, samples
+
+    def measurement_matrices_with_health(
+        self, pump_ids: list[int] | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, dict[int, int]]:
+        """:meth:`measurement_matrices` plus per-pump drop accounting.
+
+        Returns:
+            ``(pump_ids, measurement_ids, service_days, samples,
+            dropped_incomplete)`` where the last element maps pump id →
+            number of measurements discarded for not matching the
+            majority block length ``K``.
+        """
         records = self.get_measurements(pump_ids)
         if not records:
             empty = np.empty(0)
-            return empty.astype(int), empty.astype(int), empty, np.empty((0, 0, 3))
+            return empty.astype(int), empty.astype(int), empty, np.empty((0, 0, 3)), {}
         lengths = np.asarray([r.num_samples for r in records])
         counts = np.bincount(lengths)
         k = int(counts.argmax())
         kept = [r for r in records if r.num_samples == k]
+        dropped_incomplete: dict[int, int] = {}
+        for r in records:
+            if r.num_samples != k:
+                dropped_incomplete[r.pump_id] = dropped_incomplete.get(r.pump_id, 0) + 1
         pumps = np.asarray([r.pump_id for r in kept], dtype=int)
         mids = np.asarray([r.measurement_id for r in kept], dtype=int)
         service = np.asarray([r.service_day for r in kept], dtype=np.float64)
         samples = np.stack([r.samples for r in kept])
-        return pumps, mids, service, samples
+        return pumps, mids, service, samples, dropped_incomplete

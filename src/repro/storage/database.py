@@ -17,6 +17,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro.storage.records import (
+    DeadLetterRecord,
     LabelRecord,
     MaintenanceEvent,
     Measurement,
@@ -65,6 +66,15 @@ CREATE TABLE IF NOT EXISTS temperature (
     temperature_c REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_temperature_time ON temperature (timestamp_day);
+CREATE TABLE IF NOT EXISTS dead_letters (
+    stage TEXT NOT NULL,
+    pump_id INTEGER NOT NULL,
+    measurement_id INTEGER NOT NULL,
+    reason TEXT NOT NULL,
+    detail TEXT NOT NULL,
+    timestamp_day REAL
+);
+CREATE INDEX IF NOT EXISTS idx_dead_letters_pump ON dead_letters (pump_id);
 """
 
 
@@ -79,6 +89,7 @@ class VibrationDatabase:
         self.events = EventStore(self._conn)
         self.temperature = TemperatureStore(self._conn)
         self.sensors = SensorStore(self._conn)
+        self.dead_letters = DeadLetterStore(self._conn)
 
     def close(self) -> None:
         self._conn.close()
@@ -279,6 +290,70 @@ class EventStore:
             )
             for p, t, k, s, r in self._conn.execute(sql, params)
         ]
+
+
+class DeadLetterStore:
+    """Quarantined-measurement table (the pipeline's dead-letter sink)."""
+
+    def __init__(self, conn: sqlite3.Connection):
+        self._conn = conn
+
+    def add(self, record: DeadLetterRecord) -> None:
+        self.add_many([record])
+
+    def add_many(self, records: Iterable[DeadLetterRecord]) -> None:
+        rows = [
+            (
+                r.stage,
+                r.pump_id,
+                r.measurement_id,
+                r.reason,
+                r.detail,
+                None if np.isnan(r.timestamp_day) else r.timestamp_day,
+            )
+            for r in records
+        ]
+        self._conn.executemany(
+            "INSERT INTO dead_letters VALUES (?, ?, ?, ?, ?, ?)", rows
+        )
+        self._conn.commit()
+
+    def query(
+        self,
+        stage: str | None = None,
+        pump_ids: Sequence[int] | None = None,
+    ) -> list[DeadLetterRecord]:
+        sql = (
+            "SELECT stage, pump_id, measurement_id, reason, detail, timestamp_day"
+            " FROM dead_letters"
+        )
+        clauses: list[str] = []
+        params: list[object] = []
+        if stage is not None:
+            clauses.append("stage = ?")
+            params.append(stage)
+        if pump_ids is not None:
+            placeholders = ",".join("?" * len(pump_ids))
+            clauses.append(f"pump_id IN ({placeholders})")
+            params.extend(int(p) for p in pump_ids)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY pump_id, measurement_id"
+        return [
+            DeadLetterRecord(
+                stage=s,
+                pump_id=p,
+                measurement_id=m,
+                reason=reason,
+                detail=detail,
+                timestamp_day=t if t is not None else float("nan"),
+            )
+            for s, p, m, reason, detail, t in self._conn.execute(sql, params)
+        ]
+
+    def count(self) -> int:
+        (n,) = self._conn.execute("SELECT COUNT(*) FROM dead_letters").fetchone()
+        return int(n)
 
 
 class TemperatureStore:

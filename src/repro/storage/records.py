@@ -131,3 +131,32 @@ class TemperatureRecord:
     pump_id: int
     timestamp_day: float
     temperature_c: float
+
+
+@dataclass(frozen=True)
+class DeadLetterRecord:
+    """A measurement quarantined somewhere along the pipeline.
+
+    The robustness layer never silently discards data: a measurement
+    that cannot be transported, converted or analyzed is recorded here
+    so the operator report (and post-mortems) can account for it.
+
+    Attributes:
+        stage: pipeline stage that quarantined it (``"transport"``,
+            ``"gateway"``, ``"engine"``).
+        pump_id: equipment (or sensor) the measurement came from.
+        measurement_id: per-pump measurement sequence number.
+        reason: short machine-readable cause (e.g.
+            ``"transfer-failed"``, ``"reassembly-failed"``,
+            ``"conversion-failed"``, ``"non-finite"``,
+            ``"circuit-open"``).
+        detail: free-text diagnostic (exception text etc.).
+        timestamp_day: when the measurement was taken, if known.
+    """
+
+    stage: str
+    pump_id: int
+    measurement_id: int
+    reason: str
+    detail: str = ""
+    timestamp_day: float = float("nan")

@@ -1,0 +1,32 @@
+"""Shared fixtures for the chaos suite.
+
+The fleet simulation is the expensive part of a scenario, and it is
+independent of the fault plan (faults fire in transport and below), so
+one session-scoped dataset feeds every chaos test.  The master chaos
+seed comes from the ``CHAOS_SEED`` environment variable — CI runs the
+suite under several fixed seeds to widen fault coverage while keeping
+every run reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.chaos import ChaosScenario, simulate_fleet
+
+
+def chaos_seed() -> int:
+    """The suite-wide fault-plan seed (CI varies it per job leg)."""
+    return int(os.environ.get("CHAOS_SEED", "101"))
+
+
+@pytest.fixture(scope="session")
+def scenario() -> ChaosScenario:
+    return ChaosScenario()
+
+
+@pytest.fixture(scope="session")
+def fleet_dataset(scenario):
+    return simulate_fleet(scenario)

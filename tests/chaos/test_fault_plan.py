@@ -1,0 +1,197 @@
+"""Unit tests: fault plans and the deterministic injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    BUILTIN_PLANS,
+    INJECTION_POINTS,
+    ZERO_FAULTS,
+    ChaosError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.chaos.plan import FLEET_TASK, FLUSH_DATA, STORAGE_READ
+from repro.sensornet.packets import DataPacket
+
+pytestmark = pytest.mark.chaos
+
+
+def make_packet(seq: int = 0, payload: bytes = b"abcdef") -> DataPacket:
+    return DataPacket(
+        sensor_id=1, measurement_id=2, seq=seq, total=1000, payload=payload
+    )
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_point(self):
+        with pytest.raises(ValueError, match="injection point"):
+            FaultSpec(point="nonsense", kind="drop", probability=0.5)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="fault kind"):
+            FaultSpec(point=FLUSH_DATA, kind="explode", probability=0.5)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(point=FLUSH_DATA, kind="drop", probability=1.5)
+
+    def test_rejects_negative_magnitude(self):
+        with pytest.raises(ValueError, match="magnitude"):
+            FaultSpec(point=FLUSH_DATA, kind="delay", probability=0.5, magnitude=-1)
+
+
+class TestFaultPlan:
+    def test_for_point_filters(self):
+        plan = FaultPlan(
+            "p",
+            seed=0,
+            specs=(
+                FaultSpec(FLUSH_DATA, "drop", 0.1),
+                FaultSpec(STORAGE_READ, "error", 0.2),
+                FaultSpec(FLUSH_DATA, "corrupt", 0.3),
+            ),
+        )
+        kinds = [s.kind for s in plan.for_point(FLUSH_DATA)]
+        assert kinds == ["drop", "corrupt"]
+        assert plan.points == (FLUSH_DATA, STORAGE_READ)
+
+    def test_with_seed_preserves_specs(self):
+        plan = BUILTIN_PLANS["packet-storm"].with_seed(42)
+        assert plan.seed == 42
+        assert plan.specs == BUILTIN_PLANS["packet-storm"].specs
+
+    def test_builtin_plans_are_well_formed(self):
+        assert "zero-faults" in BUILTIN_PLANS
+        for name, plan in BUILTIN_PLANS.items():
+            assert plan.name == name
+            for spec in plan.specs:
+                assert spec.point in INJECTION_POINTS
+
+    def test_zero_faults_is_empty(self):
+        assert ZERO_FAULTS.specs == ()
+
+
+class TestInjectorDeterminism:
+    def plan(self, seed: int = 7) -> FaultPlan:
+        return FaultPlan(
+            "det",
+            seed=seed,
+            specs=(
+                FaultSpec(FLUSH_DATA, "drop", 0.3),
+                FaultSpec(FLUSH_DATA, "corrupt", 0.2),
+                FaultSpec(STORAGE_READ, "error", 0.4),
+            ),
+        )
+
+    def test_same_seed_same_fault_stream(self):
+        outcomes = []
+        for _ in range(2):
+            injector = FaultInjector(self.plan())
+            run = [len(injector.deliver_packet(FLUSH_DATA, make_packet(i))) for i in range(200)]
+            outcomes.append(run)
+        assert outcomes[0] == outcomes[1]
+
+    def test_different_seed_different_stream(self):
+        runs = []
+        for seed in (1, 2):
+            injector = FaultInjector(self.plan(seed))
+            runs.append(
+                [len(injector.deliver_packet(FLUSH_DATA, make_packet(i))) for i in range(200)]
+            )
+        assert runs[0] != runs[1]
+
+    def test_point_streams_are_independent(self):
+        """Drawing at one point must not perturb another point's stream."""
+        interleaved = FaultInjector(self.plan())
+        plain = FaultInjector(self.plan())
+        plain_stream = []
+        inter_stream = []
+        for i in range(100):
+            plain_stream.append(len(plain.deliver_packet(FLUSH_DATA, make_packet(i))))
+            inter_stream.append(len(interleaved.deliver_packet(FLUSH_DATA, make_packet(i))))
+            # These extra draws consume only storage.read's RNG.
+            try:
+                interleaved.maybe_fail(STORAGE_READ)
+            except ChaosError:
+                pass
+        assert plain_stream == inter_stream
+
+    def test_zero_faults_never_fires(self):
+        injector = FaultInjector(ZERO_FAULTS)
+        for i in range(50):
+            assert injector.deliver_packet(FLUSH_DATA, make_packet(i)) == [make_packet(i)]
+            injector.maybe_fail(STORAGE_READ)
+            assert injector.delay_s(FLEET_TASK) == 0.0
+        assert injector.total_fired == 0
+        assert injector.events == []
+
+
+class TestInjectorMutations:
+    def test_drop_removes_packet(self):
+        plan = FaultPlan("d", seed=0, specs=(FaultSpec(FLUSH_DATA, "drop", 1.0),))
+        injector = FaultInjector(plan)
+        assert injector.deliver_packet(FLUSH_DATA, make_packet()) == []
+        assert injector.fired_count(FLUSH_DATA, "drop") == 1
+
+    def test_corrupt_flips_one_byte_keeps_length(self):
+        plan = FaultPlan("c", seed=0, specs=(FaultSpec(FLUSH_DATA, "corrupt", 1.0),))
+        injector = FaultInjector(plan)
+        original = make_packet()
+        (out,) = injector.deliver_packet(FLUSH_DATA, original)
+        assert len(out.payload) == len(original.payload)
+        assert out.payload != original.payload
+        assert sum(a != b for a, b in zip(out.payload, original.payload)) == 1
+
+    def test_truncate_shortens_payload(self):
+        plan = FaultPlan(
+            "t", seed=0, specs=(FaultSpec(FLUSH_DATA, "truncate", 1.0, magnitude=0.5),)
+        )
+        injector = FaultInjector(plan)
+        (out,) = injector.deliver_packet(FLUSH_DATA, make_packet(payload=b"x" * 10))
+        assert len(out.payload) == 5
+
+    def test_duplicate_doubles_packet(self):
+        plan = FaultPlan("u", seed=0, specs=(FaultSpec(FLUSH_DATA, "duplicate", 1.0),))
+        injector = FaultInjector(plan)
+        out = injector.deliver_packet(FLUSH_DATA, make_packet())
+        assert len(out) == 2
+        assert out[0] == out[1]
+
+    def test_maybe_fail_raises_chaos_error(self):
+        plan = FaultPlan("e", seed=0, specs=(FaultSpec(STORAGE_READ, "error", 1.0),))
+        injector = FaultInjector(plan)
+        with pytest.raises(ChaosError):
+            injector.maybe_fail(STORAGE_READ)
+
+    def test_delay_accumulates_magnitudes(self):
+        plan = FaultPlan(
+            "w",
+            seed=0,
+            specs=(
+                FaultSpec(FLEET_TASK, "delay", 1.0, magnitude=0.25),
+                FaultSpec(FLEET_TASK, "delay", 1.0, magnitude=0.5),
+            ),
+        )
+        injector = FaultInjector(plan)
+        assert injector.delay_s(FLEET_TASK) == pytest.approx(0.75)
+
+    def test_mutate_measurements_poisons_rows(self):
+        import numpy as np
+
+        from repro.storage.records import Measurement
+
+        record = Measurement(
+            pump_id=1,
+            measurement_id=0,
+            timestamp_day=1.0,
+            service_day=1.0,
+            samples=np.ones((64, 3)),
+        )
+        plan = FaultPlan("p", seed=0, specs=(FaultSpec(STORAGE_READ, "corrupt", 1.0),))
+        injector = FaultInjector(plan)
+        (out,) = injector.mutate_measurements(STORAGE_READ, [record])
+        assert np.isnan(out.samples).any()
+        assert not np.isnan(record.samples).any()

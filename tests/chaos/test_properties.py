@@ -1,0 +1,106 @@
+"""Property tests: the pipeline survives *arbitrary* fault plans.
+
+Hypothesis generates fault plans — random subsets of injection points,
+kinds, probabilities and seeds — and the whole scenario must hold the
+robustness contract for every one of them: no unhandled exception,
+valid zones, consistent accounting.  The fleet dataset is simulated
+once at module scope; each example only pays for transport + analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import (
+    BUILTIN_PLANS,
+    ChaosScenario,
+    FaultPlan,
+    FaultSpec,
+    run_chaos_scenario,
+    simulate_fleet,
+)
+from repro.chaos.plan import FAULT_KINDS, INJECTION_POINTS
+from repro.core.classify import ZONES
+
+pytestmark = pytest.mark.chaos
+
+VALID_ZONES = set(ZONES) | {""}
+
+SCENARIO = ChaosScenario()
+DATASET = simulate_fleet(SCENARIO)
+
+
+@st.composite
+def fault_specs(draw):
+    point = draw(st.sampled_from(INJECTION_POINTS))
+    kind = draw(st.sampled_from(FAULT_KINDS))
+    # Cap probabilities: the contract under test is graceful degradation,
+    # not behaviour at 100% loss (mote-blackout covers the extreme).
+    probability = draw(st.floats(min_value=0.0, max_value=0.5))
+    magnitude = draw(st.floats(min_value=0.0, max_value=1.0))
+    return FaultSpec(point=point, kind=kind, probability=probability, magnitude=magnitude)
+
+
+@st.composite
+def fault_plans(draw):
+    specs = tuple(draw(st.lists(fault_specs(), min_size=0, max_size=4)))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return FaultPlan("generated", seed=seed, specs=specs)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(plan=fault_plans())
+def test_engine_never_crashes_under_any_fault_plan(plan):
+    result = run_chaos_scenario(plan, SCENARIO, dataset=DATASET)
+
+    # Accounting: every simulated measurement ends up attempted or
+    # breaker-skipped, and attempted splits into delivered + failed.
+    total = len(DATASET.measurements)
+    assert result.transport.attempted + result.transport.skipped_open_circuit == total
+    assert (
+        result.transport.delivered + result.transport.failed
+        == result.transport.attempted
+    )
+
+    if result.failure is not None:
+        # Degraded-but-handled: a reason, no half-built report.
+        assert result.report is None
+        assert result.text is None
+        return
+
+    report = result.report
+    assert report is not None
+
+    # Zones stay inside the paper's vocabulary for every measurement.
+    for zone in report.pipeline.zones:
+        assert str(zone) in VALID_ZONES
+
+    # Data-health bookkeeping stays internally consistent.
+    health = report.data_health
+    assert health is not None
+    assert health.analyzed == report.pump_ids.shape[0]
+    assert health.analyzed + health.n_quarantined == health.total_retrieved
+    assert health.dead_letters == len(result.dead_letters)
+
+    # The rendered report never lies about scale.
+    assert f"Measurements analyzed: {health.analyzed}" in result.text
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    name=st.sampled_from(sorted(BUILTIN_PLANS)),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_builtin_plans_survive_any_seed(name, seed):
+    """Seed choice must never turn a handled fault into a crash."""
+    result = run_chaos_scenario(
+        BUILTIN_PLANS[name].with_seed(seed), SCENARIO, dataset=DATASET
+    )
+    assert (result.report is None) == (result.failure is not None)
+    assert (result.text is None) == (result.failure is not None)

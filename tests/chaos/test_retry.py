@@ -1,0 +1,188 @@
+"""Unit tests: retry policy, retry session, circuit breaker, clocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    CircuitBreaker,
+    RetryExhaustedError,
+    RetryPolicy,
+    SimulatedClock,
+    TransientError,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially_to_ceiling(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=0.1, multiplier=2.0, max_delay_s=0.5, jitter=0.0
+        )
+        delays = [policy.delay_for(a) for a in range(1, 6)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_delay_s=1.0, jitter=0.1, max_delay_s=10.0)
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        d_a = policy.delay_for(1, rng_a)
+        d_b = policy.delay_for(1, rng_b)
+        assert d_a == d_b
+        assert 0.9 <= d_a <= 1.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+
+    def test_run_retries_until_success(self):
+        clock = SimulatedClock()
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.1, jitter=0.0)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientError("boom")
+            return "ok"
+
+        assert policy.run(flaky, clock=clock) == "ok"
+        assert calls["n"] == 3
+        # Two backoffs slept: 0.1 + 0.2.
+        assert clock.slept == pytest.approx(0.3)
+
+    def test_run_raises_exhausted_with_cause(self):
+        clock = SimulatedClock()
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.01, jitter=0.0)
+
+        def always_fails():
+            raise TransientError("down")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.run(always_fails, clock=clock)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, TransientError)
+
+    def test_run_does_not_catch_unrelated_errors(self):
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(KeyError):
+            policy.run(lambda: (_ for _ in ()).throw(KeyError("x")))
+
+
+class TestRetrySession:
+    def test_attempt_budget(self):
+        clock = SimulatedClock()
+        session = RetryPolicy(max_attempts=3, base_delay_s=0.01, jitter=0.0).session(
+            clock=clock
+        )
+        assert session.backoff() is True
+        assert session.backoff() is True
+        assert session.backoff() is False
+        assert session.attempts == 3
+
+    def test_deadline_blocks_late_retry(self):
+        clock = SimulatedClock()
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=1.0, multiplier=1.0, jitter=0.0, timeout_s=2.5
+        )
+        session = policy.session(clock=clock)
+        assert session.backoff() is True   # t=1.0
+        assert session.backoff() is True   # t=2.0
+        assert session.backoff() is False  # 2.0 + 1.0 > 2.5 — refused
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_deadline_counts_work_time_too(self):
+        clock = SimulatedClock()
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=0.5, multiplier=1.0, jitter=0.0, timeout_s=1.0
+        )
+        session = policy.session(clock=clock)
+        clock.advance(0.8)  # the attempt itself was slow
+        assert session.backoff() is False
+
+
+class TestSimulatedClock:
+    def test_sleep_advances_without_blocking(self):
+        clock = SimulatedClock(start=5.0)
+        clock.sleep(2.0)
+        assert clock.now() == 7.0
+        assert clock.slept == 2.0
+
+    def test_rejects_negative(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.sleep(-1)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+
+class TestCircuitBreaker:
+    def make(self, clock=None):
+        return CircuitBreaker(failure_threshold=3, recovery_time_s=10.0, clock=clock)
+
+    def test_opens_after_threshold(self):
+        clock = SimulatedClock()
+        breaker = self.make(clock)
+        for _ in range(2):
+            breaker.record_failure("mote-1")
+            assert breaker.allow("mote-1")
+        breaker.record_failure("mote-1")
+        assert breaker.state("mote-1") == CircuitBreaker.OPEN
+        assert not breaker.allow("mote-1")
+        assert breaker.open_keys() == ["mote-1"]
+
+    def test_keys_are_independent(self):
+        breaker = self.make(SimulatedClock())
+        for _ in range(3):
+            breaker.record_failure("a")
+        assert not breaker.allow("a")
+        assert breaker.allow("b")
+
+    def test_half_open_allows_one_probe(self):
+        clock = SimulatedClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure("m")
+        clock.advance(10.0)
+        assert breaker.state("m") == CircuitBreaker.HALF_OPEN
+        assert breaker.allow("m") is True   # the single probe
+        assert breaker.allow("m") is False  # no second concurrent probe
+
+    def test_probe_success_closes(self):
+        clock = SimulatedClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure("m")
+        clock.advance(10.0)
+        assert breaker.allow("m")
+        breaker.record_success("m")
+        assert breaker.state("m") == CircuitBreaker.CLOSED
+        assert breaker.allow("m")
+
+    def test_probe_failure_reopens(self):
+        clock = SimulatedClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure("m")
+        clock.advance(10.0)
+        assert breaker.allow("m")
+        breaker.record_failure("m")
+        assert breaker.state("m") == CircuitBreaker.OPEN
+        assert not breaker.allow("m")
+
+    def test_success_resets_failure_streak(self):
+        breaker = self.make(SimulatedClock())
+        breaker.record_failure("m")
+        breaker.record_failure("m")
+        breaker.record_success("m")
+        breaker.record_failure("m")
+        breaker.record_failure("m")
+        assert breaker.state("m") == CircuitBreaker.CLOSED

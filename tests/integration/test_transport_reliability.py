@@ -1,0 +1,105 @@
+"""Integration: Flush vs best-effort under identical radio conditions.
+
+The paper's reason for running Flush (Sec. III-A) is that a 120-packet
+measurement over a lossy 802.15.4 link is effectively never delivered
+whole without recovery: best-effort survives with probability
+``(1 - loss)^120`` while Flush's NACK rounds push recovery to ~100% at
+a bounded retransmission cost.  This test runs both transports over
+*identical* per-measurement link seeds — the same loss realizations,
+packet for packet in the first pass — and asserts that gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sensornet.flush import best_effort_transfer, flush_transfer
+from repro.sensornet.packets import fragment_measurement, reassemble_measurement
+from repro.sensornet.radio import LossyLink
+
+NUM_MEASUREMENTS = 40
+K = 1024  # paper block length → 120 packets per measurement
+LOSS = 0.05
+
+
+def make_measurement(seed: int) -> tuple[np.ndarray, list]:
+    gen = np.random.default_rng(seed)
+    counts = gen.integers(-1000, 1000, size=(K, 3), dtype=np.int16)
+    return counts, fragment_measurement(0, seed, counts)
+
+
+@pytest.fixture(scope="module")
+def transport_outcomes():
+    """Both transports across the same measurement set and link seeds."""
+    flush_results = []
+    best_effort_results = []
+    for i in range(NUM_MEASUREMENTS):
+        counts, packets = make_measurement(i)
+        # Identical seed → identical Gilbert-Elliott loss realization for
+        # the first pass of both transports.
+        flush_stats, flush_packets = flush_transfer(
+            packets, LossyLink(LOSS, seed=1000 + i)
+        )
+        be_stats, _ = best_effort_transfer(packets, LossyLink(LOSS, seed=1000 + i))
+        flush_results.append((counts, flush_stats, flush_packets))
+        best_effort_results.append(be_stats)
+    return flush_results, best_effort_results
+
+
+def test_flush_recovers_every_measurement(transport_outcomes):
+    flush_results, _ = transport_outcomes
+    assert all(stats.success for _, stats, _ in flush_results)
+    for counts, _, packets in flush_results:
+        np.testing.assert_array_equal(reassemble_measurement(packets), counts)
+
+
+def test_best_effort_loses_most_measurements(transport_outcomes):
+    """(1 - 0.05)^120 ≈ 0.2%: at 5% loss, best-effort almost never lands
+    a whole measurement."""
+    _, best_effort_results = transport_outcomes
+    survived = sum(stats.success for stats in best_effort_results)
+    assert survived / NUM_MEASUREMENTS < 0.1
+
+
+def test_reliability_gap_matches_paper(transport_outcomes):
+    """The headline gap: Flush ~100% recovery vs best-effort ~0%."""
+    flush_results, best_effort_results = transport_outcomes
+    flush_rate = sum(s.success for _, s, _ in flush_results) / NUM_MEASUREMENTS
+    be_rate = sum(s.success for s in best_effort_results) / NUM_MEASUREMENTS
+    assert flush_rate == 1.0
+    assert flush_rate - be_rate > 0.9
+
+
+def test_flush_overhead_is_bounded(transport_outcomes):
+    """Reliability is not free, but it is cheap: the retransmission
+    overhead at 5% loss stays a small multiple of the loss rate."""
+    flush_results, _ = transport_outcomes
+    total_packets = NUM_MEASUREMENTS * len(fragment_measurement(0, 0, np.zeros((K, 3), dtype=np.int16)))
+    total_sent = sum(s.data_transmissions for _, s, _ in flush_results)
+    overhead = total_sent / total_packets - 1.0
+    assert 0.0 < overhead < 3 * LOSS
+
+    # Per-transfer invariant: every transmission beyond each fragment's
+    # first one is a retransmission, and each fragment goes out at least
+    # once.
+    n_fragments = len(fragment_measurement(0, 0, np.zeros((K, 3), dtype=np.int16)))
+    for _, stats, _ in flush_results:
+        assert stats.data_transmissions == n_fragments + stats.retransmissions
+
+
+def test_best_effort_first_pass_matches_flush_first_round(transport_outcomes):
+    """Same seed ⇒ same first-pass deliveries: per measurement, the
+    fragments best-effort landed are exactly what Flush held after its
+    first round (before any recovery)."""
+    counts, packets = make_measurement(999)
+    link_seed = 4242
+    be_stats, be_packets = best_effort_transfer(
+        packets, LossyLink(LOSS, seed=link_seed)
+    )
+    flush_stats, _ = flush_transfer(
+        packets, LossyLink(LOSS, seed=link_seed), max_rounds=1
+    )
+    # One round of Flush is best-effort plus a NACK it never acts on.
+    assert flush_stats.delivered == be_stats.delivered
+    assert flush_stats.data_transmissions == be_stats.data_transmissions

@@ -44,6 +44,131 @@ class TestFlushReceiver:
             FlushReceiver(total=0)
 
 
+class TestDuplicateAndReordering:
+    def test_duplicate_fragment_is_counted_and_first_write_wins(self):
+        _, packets = make_packets()
+        receiver = FlushReceiver(total=packets[0].total)
+        receiver.accept(packets[0])
+        late_copy = packets[0]
+        receiver.accept(late_copy)
+        assert receiver.duplicates == 1
+        assert len(receiver.received) == 1
+        assert receiver.received[0] is packets[0]
+
+    def test_duplicate_does_not_overwrite_committed_payload(self):
+        """A retransmission that raced a NACK must not clobber data the
+        receiver already holds — first arrival wins."""
+        from dataclasses import replace
+
+        _, packets = make_packets()
+        receiver = FlushReceiver(total=packets[0].total)
+        receiver.accept(packets[3])
+        tampered = replace(packets[3], payload=b"\xff" * len(packets[3].payload))
+        receiver.accept(tampered)
+        assert receiver.received[3].payload == packets[3].payload
+        assert receiver.duplicates == 1
+
+    def test_out_of_order_arrivals_are_counted(self):
+        _, packets = make_packets()
+        receiver = FlushReceiver(total=packets[0].total)
+        receiver.accept(packets[5])
+        receiver.accept(packets[2])  # below highest seen → out of order
+        receiver.accept(packets[6])  # in order
+        assert receiver.out_of_order == 1
+        assert len(receiver.received) == 3
+
+    def test_reordered_delivery_still_reassembles(self):
+        counts, packets = make_packets(seed=11)
+        receiver = FlushReceiver(total=packets[0].total)
+        for p in reversed(packets):
+            receiver.accept(p)
+        assert receiver.complete
+        assert receiver.out_of_order == len(packets) - 1
+        assert np.array_equal(reassemble_measurement(receiver.packets()), counts)
+
+    def test_transfer_stats_expose_duplicates_and_retransmissions(self):
+        """A lossy NACK channel makes the sender resend fragments the
+        receiver already holds: the stats must show that overhead."""
+        _, packets = make_packets(seed=12)
+        stats, _ = flush_transfer(
+            packets,
+            LossyLink(0.2, seed=12),
+            max_rounds=100,
+            nack_link=LossyLink(0.9, seed=13),
+        )
+        assert stats.success
+        assert stats.retransmissions > 0
+        assert stats.duplicates > 0
+        assert stats.data_transmissions == len(packets) + stats.retransmissions
+
+    def test_lossless_transfer_has_no_overhead(self):
+        _, packets = make_packets(seed=14)
+        stats, _ = flush_transfer(packets, LossyLink(0.0, seed=0))
+        assert stats.retransmissions == 0
+        assert stats.duplicates == 0
+        assert stats.out_of_order == 0
+        assert stats.attempts == 1
+
+
+class TestFlushRetryPolicy:
+    def test_retry_session_reattempts_after_round_budget(self):
+        """With a retry session, a transfer that exhausts its round
+        budget backs off and tries the missing fragments again."""
+        from repro.chaos.retry import RetryPolicy, SimulatedClock
+
+        _, packets = make_packets(seed=15)
+        # Loss high enough that 2 rounds rarely finish; retries add
+        # budget until the policy gives up or the transfer completes.
+        clock = SimulatedClock()
+        policy = RetryPolicy(max_attempts=30, base_delay_s=0.01, jitter=0.0)
+        stats, received = flush_transfer(
+            packets,
+            LossyLink(0.5, seed=15),
+            max_rounds=2,
+            retry=policy.session(clock=clock),
+        )
+        assert stats.success
+        assert stats.attempts > 1
+        assert clock.slept > 0
+
+    def test_retry_budget_bounds_attempts(self):
+        from repro.chaos.retry import RetryPolicy, SimulatedClock
+
+        _, packets = make_packets(seed=16)
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.01, jitter=0.0)
+        stats, _ = flush_transfer(
+            packets,
+            LossyLink(1.0, seed=16),  # dead link: nothing ever arrives
+            max_rounds=2,
+            retry=policy.session(clock=SimulatedClock()),
+        )
+        assert not stats.success
+        assert stats.attempts == 3
+        assert stats.rounds == 6  # 3 attempts x 2 rounds
+
+    def test_deadline_cuts_retries_short(self):
+        from repro.chaos.retry import RetryPolicy, SimulatedClock
+
+        _, packets = make_packets(seed=17)
+        policy = RetryPolicy(
+            max_attempts=100,
+            base_delay_s=1.0,
+            multiplier=1.0,
+            jitter=0.0,
+            timeout_s=2.5,
+        )
+        stats, _ = flush_transfer(
+            packets,
+            LossyLink(1.0, seed=17),
+            max_rounds=1,
+            retry=policy.session(clock=SimulatedClock()),
+        )
+        assert not stats.success
+        # Backoffs at t=1 and t=2 fit the 2.5 s deadline; the third does
+        # not, so exactly 3 attempts ran.
+        assert stats.attempts == 3
+
+
 class TestFlushTransfer:
     def test_lossless_link_completes_in_one_round(self):
         counts, packets = make_packets()
