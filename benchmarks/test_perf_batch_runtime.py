@@ -14,23 +14,35 @@ Each workload runs three configurations:
   loops everywhere;
 * **batch cold** — :class:`BatchPipeline` with empty caches: the
   vectorized kernels alone (single 2-D DCT, batched smoothing and peak
-  scan, broadcast calibration);
+  scan, broadcast calibration, the packed Algorithm 1 distance kernel);
 * **batch warm** — the same pipeline re-analyzing identical data, the
   operational steady state (``analyze`` → ``schedule`` → ``dashboard``
   all replay the same window): content-addressed transform + peak +
   distance caches serve the heavy stages.
 
-Recorded gates (minimum over rounds, parity asserted on the results so
-every speedup is for *bit-identical* outputs):
+Gates (minimum over rounds, parity asserted on the results so every
+speedup is for *bit-identical* outputs):
 
-* synthetic: cold ≥ 1.3× (measured ≈ 1.6×), warm ≥ 3× (measured ≈ 4.5×);
-* fleet: warm ≥ 3× (measured ≈ 3.7×).  Cold is roughly at parity here —
-  at fleet scale the hot loop is peak extraction + Algorithm 1, whose
-  batched form wins less than the transform does — so the fleet cold
-  configuration is recorded but not gated above 1×.
+* synthetic: cold ≥ 1.5×, warm ≥ 3×;
+* fleet: cold ≥ 2×, warm ≥ 3×.  The fleet cold gate is the headline of
+  the vectorized Algorithm 1 work — peak matching used to dominate the
+  fleet-scale cold path and kept it near 1×; the packed kernel plus
+  single-pass masked top-k moved it past 2×.
+
+Set ``REPRO_PERF_RELAXED=1`` (the PR-smoke CI job does) to lower the
+gates to regression-tripwire levels for noisy shared runners; main
+branch CI runs the full gates.
+
+Every run writes ``BENCH_3.json`` to the repo root — workload shapes,
+rounds, raw timings, speedups and per-gate pass status — so CI can
+archive the numbers as an artifact.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -40,12 +52,44 @@ from repro.core.classify import ZONE_A, ZONE_BC, ZONE_D
 from repro.core.pipeline import AnalysisPipeline, PipelineConfig
 from repro.runtime import BatchPipeline, PeakFeatureCache, TransformCache
 
+pytestmark = pytest.mark.perf
+
 N_PUMPS = 8
 PER_PUMP = 120
 K = 1024
+ROUNDS = 3
+FLEET_ROUNDS = 3
 
-COLD_SPEEDUP_GATE = 1.3
-WARM_SPEEDUP_GATE = 3.0
+RELAXED = os.environ.get("REPRO_PERF_RELAXED", "") not in ("", "0")
+
+#: Gate values: full (main-branch CI / local runs) vs relaxed (PR smoke on
+#: noisy shared runners — still trips on a real regression to ~parity).
+GATES = {
+    "synthetic_cold": 1.1 if RELAXED else 1.5,
+    "synthetic_warm": 1.5 if RELAXED else 3.0,
+    "fleet_cold": 1.2 if RELAXED else 2.0,
+    "fleet_warm": 1.5 if RELAXED else 3.0,
+}
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_3.json"
+
+#: Mutable run record; the module-scoped reporter fixture writes it to
+#: ``BENCH_3.json`` after the last test in this module finishes.
+_REPORT: dict = {
+    "benchmark": "batch_runtime",
+    "relaxed_gates": RELAXED,
+    "gates": dict(GATES),
+    "workloads": {},
+}
+
+_TIMINGS: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_report():
+    """Persist the machine-readable benchmark record at module teardown."""
+    yield
+    BENCH_PATH.write_text(json.dumps(_REPORT, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="module")
@@ -86,14 +130,11 @@ def fresh_batch() -> BatchPipeline:
     )
 
 
-_TIMINGS: dict[str, float] = {}
-
-
 def test_perf_scalar_reference(benchmark, workload):
     ids, days, blocks, labels = workload
     pipeline = AnalysisPipeline(PipelineConfig())
     result = benchmark.pedantic(
-        lambda: pipeline.run(ids, days, blocks, labels), rounds=3, iterations=1
+        lambda: pipeline.run(ids, days, blocks, labels), rounds=ROUNDS, iterations=1
     )
     _TIMINGS["scalar"] = benchmark.stats.stats.min
     assert result.da.size == ids.size
@@ -103,7 +144,7 @@ def test_perf_batch_cold(benchmark, workload):
     ids, days, blocks, labels = workload
     result = benchmark.pedantic(
         lambda: fresh_batch().run(ids, days, blocks, labels),
-        rounds=3,
+        rounds=ROUNDS,
         iterations=1,
     )
     _TIMINGS["batch_cold"] = benchmark.stats.stats.min
@@ -117,7 +158,7 @@ def test_perf_batch_warm(benchmark, workload):
     pipeline = fresh_batch()
     pipeline.run(ids, days, blocks, labels)  # populate the caches
     result = benchmark.pedantic(
-        lambda: pipeline.run(ids, days, blocks, labels), rounds=3, iterations=1
+        lambda: pipeline.run(ids, days, blocks, labels), rounds=ROUNDS, iterations=1
     )
     _TIMINGS["batch_warm"] = benchmark.stats.stats.min
     assert pipeline.transform_cache.hits > 0
@@ -128,15 +169,30 @@ def test_perf_speedup_gates(workload):
     """Recorded speedups; runs after the three timing benchmarks above."""
     if len(_TIMINGS) < 3:  # pragma: no cover - benchmark-only collection
         pytest.skip("timing benchmarks did not run")
+    ids = workload[0]
     scalar = _TIMINGS["scalar"]
     cold = scalar / _TIMINGS["batch_cold"]
     warm = scalar / _TIMINGS["batch_warm"]
+    _REPORT["workloads"]["synthetic"] = {
+        "shape": [int(ids.size), K, 3],
+        "rounds": ROUNDS,
+        "seconds": {
+            "scalar": _TIMINGS["scalar"],
+            "batch_cold": _TIMINGS["batch_cold"],
+            "batch_warm": _TIMINGS["batch_warm"],
+        },
+        "speedup": {"cold": cold, "warm": warm},
+        "gate_pass": {
+            "cold": cold >= GATES["synthetic_cold"],
+            "warm": warm >= GATES["synthetic_warm"],
+        },
+    }
     print(
         f"\nbatch runtime speedup over scalar ({N_PUMPS * PER_PUMP} x {K} x 3): "
         f"cold {cold:.2f}x, warm (cached re-analysis) {warm:.2f}x"
     )
-    assert cold >= COLD_SPEEDUP_GATE
-    assert warm >= WARM_SPEEDUP_GATE
+    assert cold >= GATES["synthetic_cold"]
+    assert warm >= GATES["synthetic_warm"]
 
 
 # ----------------------------------------------------------------------
@@ -158,7 +214,7 @@ def fleet_workload():
 
 
 def test_perf_fleet_scale_speedup(fleet_workload):
-    """Scalar vs cold vs warm on the 12-pump fleet, min of 2 rounds each."""
+    """Scalar vs cold vs warm on the 12-pump fleet, min over rounds."""
     import time
 
     pumps, service, samples, labels, config = fleet_workload
@@ -168,36 +224,61 @@ def test_perf_fleet_scale_speedup(fleet_workload):
         result = fn()
         return result, time.perf_counter() - start
 
-    reference, s1 = timed(
-        lambda: AnalysisPipeline(config).run(pumps, service, samples, labels)
-    )
-    _, s2 = timed(
-        lambda: AnalysisPipeline(config).run(pumps, service, samples, labels)
-    )
-    scalar_s = min(s1, s2)
-
     def fresh():
         return BatchPipeline(
             config, cache=PeakFeatureCache(), transform_cache=TransformCache()
         )
 
-    cold_result, c1 = timed(lambda: fresh().run(pumps, service, samples, labels))
-    pipeline = fresh()
-    _, c2 = timed(lambda: pipeline.run(pumps, service, samples, labels))
-    cold_s = min(c1, c2)
+    # Untimed warmup: faults in allocator arenas and FFT plan caches at
+    # fleet scale so the timed rounds measure compute, not first-touch.
+    fresh().run(pumps, service, samples, labels)
 
-    warm_result, w1 = timed(lambda: pipeline.run(pumps, service, samples, labels))
-    _, w2 = timed(lambda: pipeline.run(pumps, service, samples, labels))
-    warm_s = min(w1, w2)
+    # Each configuration's rounds run back to back, cold before scalar:
+    # the scalar reference churns millions of small per-row allocations
+    # that fragment the allocator and measurably slow a *following*
+    # large-block batch round, so interleaving would bias the cold
+    # numbers.  Min-of-rounds then takes each configuration's best
+    # clean round.
+    cold_times = []
+    for _ in range(FLEET_ROUNDS):
+        pipeline = fresh()
+        cold_result, c = timed(lambda: pipeline.run(pumps, service, samples, labels))
+        cold_times.append(c)
+    cold_s = min(cold_times)
+
+    warm_times = []
+    for _ in range(FLEET_ROUNDS):
+        warm_result, w = timed(lambda: pipeline.run(pumps, service, samples, labels))
+        warm_times.append(w)
+    warm_s = min(warm_times)
+
+    scalar_times = []
+    for _ in range(FLEET_ROUNDS):
+        reference, s = timed(
+            lambda: AnalysisPipeline(config).run(pumps, service, samples, labels)
+        )
+        scalar_times.append(s)
+    scalar_s = min(scalar_times)
 
     assert np.array_equal(reference.da, cold_result.da, equal_nan=True)
     assert np.array_equal(reference.da, warm_result.da, equal_nan=True)
 
     cold = scalar_s / cold_s
     warm = scalar_s / warm_s
+    _REPORT["workloads"]["fleet"] = {
+        "shape": [int(samples.shape[0]), int(samples.shape[1]), 3],
+        "rounds": FLEET_ROUNDS,
+        "seconds": {"scalar": scalar_s, "batch_cold": cold_s, "batch_warm": warm_s},
+        "speedup": {"cold": cold, "warm": warm},
+        "gate_pass": {
+            "cold": cold >= GATES["fleet_cold"],
+            "warm": warm >= GATES["fleet_warm"],
+        },
+    }
     print(
         f"\nfleet-scale ({samples.shape[0]} measurements) speedup over scalar: "
         f"cold {cold:.2f}x, warm (cached re-analysis) {warm:.2f}x "
         f"(scalar {scalar_s:.2f}s, cold {cold_s:.2f}s, warm {warm_s:.2f}s)"
     )
-    assert warm >= WARM_SPEEDUP_GATE
+    assert cold >= GATES["fleet_cold"]
+    assert warm >= GATES["fleet_warm"]

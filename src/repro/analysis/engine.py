@@ -22,6 +22,7 @@ from repro.core.ransac import LineModel
 from repro.core.rul import RULPrediction
 from repro.runtime.batch import BatchPipeline, finite_block_mask
 from repro.runtime.fleet import FleetExecutor
+from repro.runtime.incremental import IncrementalPipelineSession
 from repro.runtime.profile import RuntimeProfile
 from repro.storage.api import DataRetrievalAPI
 from repro.storage.records import MaintenanceEvent
@@ -53,8 +54,18 @@ class EngineConfig:
             :class:`~repro.runtime.batch.BatchPipeline` (bit-identical
             to the scalar path; the default).  False selects the scalar
             reference pipeline.
-        max_workers: fleet-executor thread count for the per-pump RUL
+        max_workers: fleet-executor worker count for the per-pump RUL
             and diagnosis fan-out; None auto-sizes, 0/1 forces serial.
+        executor_backend: ``"thread"`` (default) or ``"process"`` for
+            the fleet executor and the transform fan-out.  A process
+            request is honoured only for file-backed databases — worker
+            processes cannot see an in-memory SQLite, so in-memory
+            engines silently fall back to threads (results are
+            bit-identical either way).
+        incremental: reuse cached per-row transform features across
+            rolling-window advances — each engine run transforms only
+            measurements it has never seen.  Bit-identical to a cold
+            run; requires the batch runtime.
     """
 
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
@@ -63,12 +74,19 @@ class EngineConfig:
     diagnosis_window: int = 10
     use_batch_runtime: bool = True
     max_workers: int | None = None
+    executor_backend: str = "thread"
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         if self.rotation_hz is not None and self.rotation_hz <= 0:
             raise ValueError("rotation_hz must be positive")
         if self.diagnosis_window < 1:
             raise ValueError("diagnosis_window must be positive")
+        if self.executor_backend not in ("thread", "process"):
+            raise ValueError(
+                f"executor_backend must be 'thread' or 'process',"
+                f" got {self.executor_backend!r}"
+            )
 
 
 @dataclass
@@ -190,15 +208,44 @@ class VibrationAnalysisEngine:
         self.api = api
         self.config = config or EngineConfig()
         self.executor = executor
+        self._pipeline: AnalysisPipeline | None = None
+        self._session: IncrementalPipelineSession | None = None
+
+    def _resolve_backend(self) -> str:
+        """Honour a process-backend request only for file-backed DBs.
+
+        Worker processes cannot reach an in-memory SQLite, so engines
+        over in-memory databases keep the thread pool (the two backends
+        produce bit-identical results — only throughput differs).
+        """
+        backend = self.config.executor_backend
+        if backend == "process":
+            database = getattr(self.api, "database", None)
+            if database is not None and getattr(database, "in_memory", False):
+                return "thread"
+        return backend
 
     def _make_pipeline(self) -> AnalysisPipeline:
-        """Pipeline instance per the configured runtime path."""
+        """Pipeline instance per the configured runtime path.
+
+        Built once and reused across runs so content-addressed caches —
+        and the incremental session's per-row features — survive
+        rolling-window advances of the same engine.
+        """
+        if self._pipeline is not None:
+            return self._pipeline
         if self.config.use_batch_runtime:
             executor = self.executor or FleetExecutor(
-                max_workers=self.config.max_workers
+                max_workers=self.config.max_workers,
+                backend=self._resolve_backend(),
             )
-            return BatchPipeline(self.config.pipeline, executor=executor)
-        return AnalysisPipeline(self.config.pipeline)
+            pipeline = BatchPipeline(self.config.pipeline, executor=executor)
+            if self.config.incremental:
+                self._session = IncrementalPipelineSession(pipeline)
+        else:
+            pipeline = AnalysisPipeline(self.config.pipeline)
+        self._pipeline = pipeline
+        return pipeline
 
     def run(self, profile: RuntimeProfile | None = None) -> AnalysisReport:
         """Analyze everything inside the API's current analysis period.
@@ -261,7 +308,11 @@ class VibrationAnalysisEngine:
             )
 
         pipeline = self._make_pipeline()
-        if isinstance(pipeline, BatchPipeline):
+        if self._session is not None:
+            result = self._session.run(
+                pumps, service, samples, train_labels, profile=profile
+            )
+        elif isinstance(pipeline, BatchPipeline):
             result = pipeline.run(pumps, service, samples, train_labels, profile=profile)
         elif profile is not None:
             with profile.stage("pipeline(scalar)", int(pumps.size)):

@@ -74,7 +74,16 @@ def _add_analyze_parser(subparsers) -> None:
         "--workers",
         type=int,
         default=None,
-        help="fleet-executor thread count (default auto; 0/1 forces serial)",
+        help="fleet-executor worker count (default auto; 0/1 forces serial)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "fleet-executor backend; 'process' sidesteps the GIL for"
+            " file-backed databases (in-memory DBs fall back to threads)"
+        ),
     )
 
 
@@ -224,6 +233,7 @@ def _cmd_analyze(args, out) -> int:
                 pipeline=PipelineConfig(moving_average_window=args.moving_average),
                 use_batch_runtime=not args.scalar,
                 max_workers=args.workers,
+                executor_backend=args.backend,
             ),
         )
         profile = RuntimeProfile() if args.profile else None

@@ -17,6 +17,7 @@ distance with a covariance estimated from reference (Zone A) samples.
 from __future__ import annotations
 
 from bisect import bisect_left
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.linalg import solve_triangular
@@ -111,6 +112,206 @@ def peak_harmonic_distance(
     return total / count
 
 
+@dataclass(frozen=True)
+class PackedPeaks:
+    """A batch of harmonic peak features packed into padded matrices.
+
+    Ragged per-measurement peak sets are stored as fixed-width rows so the
+    batched Algorithm 1 kernel can run whole-fleet vectorized passes.
+    Row ``i`` holds feature ``i``'s peaks in its first ``counts[i]``
+    columns (increasing frequency order, like :class:`HarmonicPeaks`);
+    the padding columns hold zeros and are never read through a valid
+    index.
+
+    Attributes:
+        frequencies: ``(N, P)`` peak frequencies in Hz, zero-padded.
+        values: ``(N, P)`` peak amplitudes, zero-padded, aligned with
+            ``frequencies``.
+        counts: ``(N,)`` number of real peaks per row.
+    """
+
+    frequencies: np.ndarray
+    values: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        freqs = np.asarray(self.frequencies, dtype=np.float64)
+        vals = np.asarray(self.values, dtype=np.float64)
+        counts = np.asarray(self.counts, dtype=np.intp)
+        if freqs.ndim != 2 or freqs.shape != vals.shape:
+            raise ValueError("frequencies and values must be equal-shape 2-D arrays")
+        if counts.shape != (freqs.shape[0],):
+            raise ValueError("counts must have one entry per row")
+        if counts.size and (counts.min() < 0 or counts.max() > freqs.shape[1]):
+            raise ValueError("counts must lie in [0, P]")
+        object.__setattr__(self, "frequencies", freqs)
+        object.__setattr__(self, "values", vals)
+        object.__setattr__(self, "counts", counts)
+
+    def __len__(self) -> int:
+        return int(self.counts.shape[0])
+
+    @property
+    def valid(self) -> np.ndarray:
+        """``(N, P)`` boolean mask of real (non-padding) peak slots."""
+        width = self.frequencies.shape[1]
+        return np.arange(width)[None, :] < self.counts[:, None]
+
+    def row(self, i: int) -> HarmonicPeaks:
+        """Unpack one row back into a :class:`HarmonicPeaks` feature."""
+        n = int(self.counts[i])
+        return HarmonicPeaks(self.frequencies[i, :n].copy(), self.values[i, :n].copy())
+
+
+def pack_peaks(peaks_list: list[HarmonicPeaks]) -> PackedPeaks:
+    """Pack ragged peak features into padded ``(N, P)`` matrices.
+
+    ``P`` is the widest feature in the batch (0 rows pack to width 0).
+    """
+    counts = np.asarray([len(p) for p in peaks_list], dtype=np.intp)
+    width = int(counts.max()) if counts.size else 0
+    freqs = np.zeros((len(peaks_list), width))
+    vals = np.zeros((len(peaks_list), width))
+    for i, peaks in enumerate(peaks_list):
+        n = counts[i]
+        freqs[i, :n] = peaks.frequencies
+        vals[i, :n] = peaks.values
+    return PackedPeaks(freqs, vals, counts)
+
+
+def packed_harmonic_distances(
+    packed: PackedPeaks,
+    reference: HarmonicPeaks,
+    match_tolerance_hz: float = float(DEFAULT_WINDOW_SIZE),
+) -> np.ndarray:
+    """Batched Algorithm 1: ``D_a`` of every packed row from ``reference``.
+
+    Bit-identical to ``[peak_harmonic_distance(row, reference) for row in
+    rows]`` — the contract the runtime parity and property tests enforce —
+    but computed in vectorized passes over the whole batch:
+
+    * per-row normalization maxima come from masked reductions;
+    * the greedy nearest-unconsumed matching loops over *peak rank* only
+      (at most ``P`` iterations): each iteration resolves the ``k``-th
+      peak of every row at once, replicating the scalar search's
+      bisect-and-expand choice (nearest unconsumed neighbour on each
+      side, left wins ties) with index arithmetic on an ``(N, n_j)``
+      consumed mask;
+    * unmatched-exemplar residuals are compacted per row and summed in
+      groups of equal residual count, so every row's residual sees the
+      same pairwise-summation tree as the scalar path's
+      ``residual.sum()``.
+
+    Args:
+        packed: packed peak features (one row per measurement).
+        reference: the shared exemplar feature.
+        match_tolerance_hz: maximum physical frequency gap for a match.
+
+    Returns:
+        ``(N,)`` float64 distances aligned with the packed rows.
+    """
+    if match_tolerance_hz <= 0:
+        raise ValueError("match_tolerance_hz must be positive")
+    n_rows = len(packed)
+    if n_rows == 0:
+        return np.empty(0)
+    n_j = len(reference)
+    counts = packed.counts
+    valid = packed.valid
+
+    # Per-row shared maxima, exactly as the scalar path computes them:
+    # max over each feature's own peaks (0.0 when empty), combined with
+    # the reference maxima, clamped to 1.0 when non-positive.
+    if packed.frequencies.shape[1]:
+        row_fmax = np.where(valid, packed.frequencies, -np.inf).max(axis=1)
+        row_pmax = np.where(valid, packed.values, -np.inf).max(axis=1)
+        row_fmax = np.where(counts > 0, row_fmax, 0.0)
+        row_pmax = np.where(counts > 0, row_pmax, 0.0)
+    else:
+        row_fmax = np.zeros(n_rows)
+        row_pmax = np.zeros(n_rows)
+    p_max = np.maximum(row_pmax, reference.max_value)
+    f_max = np.maximum(row_fmax, reference.max_frequency)
+    p_max = np.where(p_max <= 0, 1.0, p_max)
+    f_max = np.where(f_max <= 0, 1.0, f_max)
+
+    fi = packed.frequencies / f_max[:, None]
+    pi = packed.values / p_max[:, None]
+    fj = reference.frequencies[None, :] / f_max[:, None]
+    pj = reference.values[None, :] / p_max[:, None]
+
+    consumed = np.zeros((n_rows, n_j), dtype=bool)
+    total = np.zeros(n_rows)
+    col = np.arange(n_j)
+    max_rank = int(counts.max()) if counts.size else 0
+    for k in range(max_rank):
+        act = counts > k
+        f = fi[:, k]
+        p = pi[:, k]
+        if n_j:
+            # bisect_left on the sorted normalized exemplar row.
+            pos = (fj < f[:, None]).sum(axis=1)
+            free = ~consumed
+            # Nearest unconsumed neighbour on each side of the insertion
+            # point: the largest free index below it, the smallest at or
+            # above it — the exact pair the scalar expand-outward scan
+            # stops at.
+            left_idx = np.where(free & (col[None, :] < pos[:, None]), col, -1).max(axis=1)
+            right_idx = np.where(free & (col[None, :] >= pos[:, None]), col, n_j).min(axis=1)
+            has_left = left_idx >= 0
+            has_right = right_idx < n_j
+            fj_left = np.take_along_axis(
+                fj, np.maximum(left_idx, 0)[:, None], axis=1
+            )[:, 0]
+            fj_right = np.take_along_axis(
+                fj, np.minimum(right_idx, n_j - 1)[:, None], axis=1
+            )[:, 0]
+            gap_left = np.where(has_left, np.abs(f - fj_left), np.inf)
+            gap_right = np.where(has_right, np.abs(f - fj_right), np.inf)
+            # The scalar scan visits the left candidate first and only
+            # lets the right one replace it on a strictly smaller gap.
+            use_left = has_left & (~has_right | ~(gap_right < gap_left))
+            j_star = np.where(use_left, left_idx, right_idx)
+            has_any = has_left | has_right
+            j_safe = np.clip(j_star, 0, n_j - 1)[:, None]
+            fj_star = np.take_along_axis(fj, j_safe, axis=1)[:, 0]
+            pj_star = np.take_along_axis(pj, j_safe, axis=1)[:, 0]
+            matched = act & has_any & (np.abs(f - fj_star) * f_max < match_tolerance_hz)
+            gap = np.where(
+                matched,
+                np.hypot(f - fj_star, p - pj_star),
+                np.hypot(f, p),
+            )
+            rows_hit = np.nonzero(matched)[0]
+            consumed[rows_hit, j_star[rows_hit]] = True
+        else:
+            gap = np.hypot(f, p)
+        total[act] += gap[act]
+
+    # Residual: unconsumed exemplar peaks charged their normalized
+    # amplitude.  Rows are compacted (stable order) and summed grouped by
+    # residual length so each group's np.sum reduction is bit-identical
+    # to the scalar path's sum over the same compacted 1-D array.
+    if n_j:
+        unconsumed = ~consumed
+        residual_counts = unconsumed.sum(axis=1)
+        if residual_counts.any():
+            order = np.argsort(consumed, axis=1, kind="stable")
+            compact_pj = np.take_along_axis(pj, order, axis=1)
+            for m in np.unique(residual_counts):
+                if m == 0:
+                    continue
+                rows_m = residual_counts == m
+                total[rows_m] += compact_pj[rows_m, :m].sum(axis=1)
+    else:
+        residual_counts = np.zeros(n_rows, dtype=np.intp)
+
+    denom = counts + residual_counts
+    out = np.zeros(n_rows)
+    np.divide(total, denom, out=out, where=denom > 0)
+    return out
+
+
 def peak_harmonic_distances(
     peaks_list: list[HarmonicPeaks],
     reference: HarmonicPeaks,
@@ -119,9 +320,10 @@ def peak_harmonic_distances(
     """``D_a`` of every feature in ``peaks_list`` from a shared reference.
 
     Semantically ``[peak_harmonic_distance(p, reference) for p in
-    peaks_list]``; exists so batched callers (the analysis runtime, the
-    classification benchmarks) have a single entry point the memoization
-    layer can wrap.
+    peaks_list]`` and bit-identical to that loop, but executed through
+    the padded-array kernel (:func:`packed_harmonic_distances`) so the
+    whole batch runs in vectorized numpy passes — the single entry point
+    batched callers and the memoization layer wrap.
 
     Args:
         peaks_list: harmonic peak features, one per measurement.
@@ -131,12 +333,8 @@ def peak_harmonic_distances(
     Returns:
         Float array of distances aligned with ``peaks_list``.
     """
-    return np.asarray(
-        [
-            peak_harmonic_distance(p, reference, match_tolerance_hz=match_tolerance_hz)
-            for p in peaks_list
-        ],
-        dtype=np.float64,
+    return packed_harmonic_distances(
+        pack_peaks(peaks_list), reference, match_tolerance_hz=match_tolerance_hz
     )
 
 

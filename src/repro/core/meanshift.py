@@ -38,6 +38,30 @@ class MeanShiftResult:
         return np.bincount(self.labels, minlength=self.n_clusters)
 
 
+def _sq_norms(points: np.ndarray) -> np.ndarray:
+    """Row-wise squared Euclidean norms."""
+    return np.einsum("ij,ij->i", points, points)
+
+
+def _pairwise_sq_distances(
+    a: np.ndarray, b: np.ndarray, b_sq: np.ndarray | None = None
+) -> np.ndarray:
+    """Squared Euclidean distance matrix via the expanded quadratic form.
+
+    ``|a - b|^2 = |a|^2 + |b|^2 - 2 a.b`` turns the pairwise distance
+    computation into one BLAS matmul instead of materializing the
+    ``(len(a), len(b), d)`` difference tensor — the dominant cost of the
+    naive form at fleet scale.  Cancellation can produce tiny negative
+    values for near-coincident points, so the result is clamped at zero.
+    """
+    if b_sq is None:
+        b_sq = _sq_norms(b)
+    sq = _sq_norms(a)[:, None] + b_sq[None, :]
+    sq -= 2.0 * (a @ b.T)
+    np.maximum(sq, 0.0, out=sq)
+    return sq
+
+
 def estimate_bandwidth(points: np.ndarray, quantile: float = 0.3) -> float:
     """Bandwidth estimate: the given quantile of pairwise distances.
 
@@ -51,8 +75,7 @@ def estimate_bandwidth(points: np.ndarray, quantile: float = 0.3) -> float:
         return 1.0
     if not 0.0 < quantile <= 1.0:
         raise ValueError("quantile must be in (0, 1]")
-    diffs = pts[:, None, :] - pts[None, :, :]
-    dists = np.sqrt((diffs**2).sum(axis=2))
+    dists = np.sqrt(_pairwise_sq_distances(pts, pts))
     k = max(1, min(n - 1, int(round(quantile * n))))
     kth = np.sort(dists, axis=1)[:, k]
     bandwidth = float(kth.mean())
@@ -106,14 +129,16 @@ class MeanShift:
         bandwidth = self.bandwidth if self.bandwidth is not None else estimate_bandwidth(pts)
         tol = self.convergence_tol if self.convergence_tol is not None else 1e-3 * bandwidth
 
-        # All seeds advance in lockstep, one vectorized distance matrix
-        # per round instead of one norm call per seed per iteration; a
-        # converged seed is frozen.  Every seed sees exactly the update
-        # sequence of the equivalent per-seed loop (the reductions run
-        # over the same axis in the same order), so the modes are
-        # bit-identical to the naive implementation.
+        # All seeds advance in lockstep: one vectorized distance matrix
+        # per round, and every seed's new center comes from a single
+        # members @ points matmul (the flat-kernel mean is just a
+        # normalized indicator product) instead of one masked mean and
+        # one norm call per seed per iteration.  A converged seed is
+        # frozen and drops out of later rounds.
         modes = pts.copy()
         active = np.ones(n, dtype=bool)
+        pts_sq = _sq_norms(pts)
+        sq_bandwidth = bandwidth * bandwidth
         # Seeds per round chunk: bounds the (seeds, n) distance matrix.
         seed_chunk = max(1, int(4_000_000 // max(n, 1)))
         for _ in range(self.max_iterations):
@@ -122,21 +147,19 @@ class MeanShift:
                 break
             for lo in range(0, idx.size, seed_chunk):
                 rows = idx[lo : lo + seed_chunk]
-                dists = np.linalg.norm(
-                    pts[None, :, :] - modes[rows, None, :], axis=2
-                )
-                members = dists <= bandwidth
-                for row, seed_idx in enumerate(rows):
-                    new_center = pts[members[row]].mean(axis=0)
-                    shift = float(np.linalg.norm(new_center - modes[seed_idx]))
-                    modes[seed_idx] = new_center
-                    if shift < tol:
-                        active[seed_idx] = False
+                # Membership only needs the squared-distance comparison,
+                # so the sqrt over the (seeds, n) matrix is skipped.
+                members = _pairwise_sq_distances(modes[rows], pts, pts_sq) <= sq_bandwidth
+                counts = members.sum(axis=1)
+                new_centers = (members.astype(np.float64) @ pts) / counts[:, None]
+                shifts = np.linalg.norm(new_centers - modes[rows], axis=1)
+                modes[rows] = new_centers
+                active[rows[shifts < tol]] = False
 
         centers = _merge_modes(modes, bandwidth)
-        # Label points by the nearest merged mode.
-        dists = np.linalg.norm(pts[:, None, :] - centers[None, :, :], axis=2)
-        labels = dists.argmin(axis=1)
+        # Label points by the nearest merged mode (squared distances
+        # share the argmin with true distances).
+        labels = _pairwise_sq_distances(pts, centers).argmin(axis=1)
         # Reorder clusters by descending size so label 0 is the main cluster.
         sizes = np.bincount(labels, minlength=centers.shape[0])
         order = np.argsort(sizes)[::-1]
@@ -153,8 +176,8 @@ def _merge_modes(modes: np.ndarray, bandwidth: float) -> np.ndarray:
     as in the reference implementation.
     """
     n = modes.shape[0]
-    dists = np.linalg.norm(modes[:, None, :] - modes[None, :, :], axis=2)
-    density = (dists <= bandwidth).sum(axis=1)
+    within = _pairwise_sq_distances(modes, modes) <= bandwidth * bandwidth
+    density = within.sum(axis=1)
     order = np.argsort(density)[::-1]
     kept: list[int] = []
     suppressed = np.zeros(n, dtype=bool)
@@ -162,5 +185,5 @@ def _merge_modes(modes: np.ndarray, bandwidth: float) -> np.ndarray:
         if suppressed[idx]:
             continue
         kept.append(idx)
-        suppressed |= dists[idx] <= bandwidth
+        suppressed |= within[idx]
     return modes[kept]

@@ -71,6 +71,20 @@ class HarmonicPeaks:
         return float(self.frequencies.max()) if len(self) else 0.0
 
 
+def _trusted_peaks(freqs: np.ndarray, vals: np.ndarray) -> HarmonicPeaks:
+    """Build a :class:`HarmonicPeaks` from pre-validated float64 arrays.
+
+    The batched selection produces slices that are float64, 1-D,
+    equal-length and strictly increasing by construction, so the
+    per-object ``__post_init__`` validation (an ``np.diff`` + ``np.all``
+    per row — real cost at fleet scale) is skipped.
+    """
+    peaks = object.__new__(HarmonicPeaks)
+    object.__setattr__(peaks, "frequencies", freqs)
+    object.__setattr__(peaks, "values", vals)
+    return peaks
+
+
 def _local_maxima(values: np.ndarray) -> np.ndarray:
     """Indices where the first-order differential flips positive→negative.
 
@@ -101,19 +115,44 @@ def _local_maxima_mask(rows: np.ndarray) -> np.ndarray:
     """Vectorized local-maximum mask per row of a ``(n, K)`` matrix.
 
     ``mask[i, j]`` is True when bin ``j`` of row ``i`` satisfies the
-    sign-change criterion of :func:`_local_maxima`.  Zero differences are
+    sign-change criterion of :func:`_local_maxima`.  Rows without any
+    zero difference — the overwhelming majority of real PSD rows — take
+    a pure comparison path; only rows containing a plateau pay for the
+    forward fill that lands plateau maxima on the leading edge.
+    """
+    n, k = rows.shape
+    mask = np.zeros((n, k), dtype=bool)
+    if k < 3:
+        return mask
+    diff = np.diff(rows, axis=1)
+    nonzero = diff != 0.0
+    rising = diff > 0
+    # Plateau-free criterion: a strict rise into the bin and a strict
+    # fall out of it.  (`~rising & nonzero` is "strictly falling".)
+    mask[:, 1:-1] = rising[:, :-1] & ~rising[:, 1:] & nonzero[:, 1:]
+    plateau_rows = np.nonzero(~nonzero.all(axis=1))[0]
+    if plateau_rows.size:
+        mask[plateau_rows] = _local_maxima_mask_filled(rows[plateau_rows])
+    return mask
+
+
+def _local_maxima_mask_filled(rows: np.ndarray) -> np.ndarray:
+    """Local-maximum mask with plateau forward-filling (any row shape).
+
+    The general form of :func:`_local_maxima_mask`: zero differences are
     forward-filled with the previous trend (plateau maxima land on the
     plateau's leading edge), implemented as an index-carrying cumulative
     maximum instead of the per-element Python loop of the scalar path.
     """
     n, k = rows.shape
     mask = np.zeros((n, k), dtype=bool)
-    if k < 3:
-        return mask
-    sign = np.sign(np.diff(rows, axis=1))
+    diff = np.diff(rows, axis=1)
+    # int8 signs: the fill/compare passes below are pure sign logic, so
+    # narrow integers cut the memory traffic of the hot scan 8x.
+    sign = (diff > 0).astype(np.int8) - (diff < 0).astype(np.int8)
     # Forward-fill zeros: each position takes the sign at the latest
     # non-zero position at or before it (a leading run of zeros keeps 0).
-    positions = np.where(sign != 0, np.arange(sign.shape[1])[None, :], 0)
+    positions = np.where(sign != 0, np.arange(sign.shape[1], dtype=np.int32)[None, :], 0)
     filled = np.take_along_axis(
         sign, np.maximum.accumulate(positions, axis=1), axis=1
     )
@@ -196,8 +235,11 @@ def _select_peaks(
     if candidates.size == 0:
         return HarmonicPeaks(np.empty(0), np.empty(0))
 
-    # Keep the num_peaks most significant maxima, then restore frequency order.
-    order = np.argsort(smoothed[candidates])[::-1][:num_peaks]
+    # Keep the num_peaks most significant maxima, then restore frequency
+    # order.  The descending sort is stable (equal amplitudes keep their
+    # frequency order) so the scalar and batched top-k agree bit-for-bit
+    # even on tied candidates.
+    order = np.argsort(-smoothed[candidates], kind="stable")[:num_peaks]
     selected = np.sort(candidates[order])
     return HarmonicPeaks(freq_arr[selected], smoothed[selected])
 
@@ -212,10 +254,10 @@ def extract_harmonic_peaks_batch(
 ) -> list[HarmonicPeaks]:
     """:func:`extract_harmonic_peaks` over PSD rows ``(n, K)`` in one pass.
 
-    The two expensive stages — Hann smoothing and the local-maxima scan —
-    run vectorized over the whole matrix (one C convolution, no
-    per-element Python loop); only the final top-``num_peaks`` selection
-    runs per row, on the handful of candidate maxima.  Results are
+    Every stage — Hann smoothing, the local-maxima scan, the significance
+    floor, and the top-``num_peaks`` selection — runs vectorized over the
+    whole matrix (one C convolution plus masked reductions and a single
+    stable argsort; no per-row Python selection loop).  Results are
     bit-identical to the scalar function applied row by row, which is the
     contract the batched analysis runtime's parity tests enforce.
 
@@ -240,14 +282,81 @@ def extract_harmonic_peaks_batch(
 
     smoothed = smooth_hann_batch(rows, window_size)
     mask = _local_maxima_mask(smoothed)
+    return _select_peaks_batch(
+        smoothed, freq_arr, mask, num_peaks, skip_dc_bins, min_significance
+    )
+
+
+def _select_peaks_batch(
+    smoothed: np.ndarray,
+    freq_arr: np.ndarray,
+    mask: np.ndarray,
+    num_peaks: int,
+    skip_dc_bins: int,
+    min_significance: float,
+) -> list[HarmonicPeaks]:
+    """Vectorized :func:`_select_peaks` over every row at once.
+
+    Candidate maxima are first *compacted*: ``np.nonzero`` lists them in
+    row-major order, so scattering into a padded ``(n, max_candidates)``
+    matrix preserves each row's frequency order with the padding slots
+    holding ``-inf`` values and a sentinel column index.  The stable
+    descending argsort then runs over tens of columns instead of the
+    full bin width — the same top-``k`` (ties keep frequency order, like
+    the scalar path's stable sort over its candidate list) at a fraction
+    of the sort cost.  Sorting the selected column indices afterwards
+    restores frequency order, exactly like the scalar path's
+    ``np.sort(candidates[order])``.
+    """
+    n_rows, n_bins = smoothed.shape
+    mask = mask.copy()
+    mask[:, : min(skip_dc_bins, n_bins)] = False
+
+    counts = mask.sum(axis=1)
+    max_cand = int(counts.max()) if n_rows else 0
+    if max_cand == 0:
+        return [HarmonicPeaks(np.empty(0), np.empty(0)) for _ in range(n_rows)]
+
+    # Compact candidates: row-major nonzero order keeps each row's
+    # columns increasing, so slot order == frequency order.
+    rowe, cole = np.nonzero(mask)
+    starts = np.zeros(n_rows, dtype=np.intp)
+    np.cumsum(counts[:-1], out=starts[1:])
+    slots = np.arange(rowe.size) - starts[rowe]
+    cand_cols = np.full((n_rows, max_cand), n_bins, dtype=np.intp)
+    cand_vals = np.full((n_rows, max_cand), -np.inf)
+    cand_cols[rowe, slots] = cole
+    cand_vals[rowe, slots] = smoothed[rowe, cole]
+
+    if min_significance > 0:
+        row_max = cand_vals.max(axis=1)
+        # Rows with no candidates have row_max == -inf; their floor stays
+        # -inf, so the explicit padding guard below must carry the cut.
+        floor = min_significance * row_max
+        keep = (cand_vals >= floor[:, None]) & (cand_cols < n_bins)
+        cand_vals[~keep] = -np.inf
+        cand_cols[~keep] = n_bins
+        counts = keep.sum(axis=1)
+
+    take = np.minimum(counts, num_peaks)
+    if not counts.any():
+        return [HarmonicPeaks(np.empty(0), np.empty(0)) for _ in range(n_rows)]
+
+    # Stable descending argsort: padding (-inf) sinks to the end, tied
+    # candidates keep frequency order — the same tie rule as the scalar
+    # selection.  Invalid tail slots keep the sentinel column so the
+    # final per-row index sort pushes them past every real selection.
+    width = min(num_peaks, max_cand)
+    order = np.argsort(-cand_vals, axis=1, kind="stable")[:, :width]
+    rank = np.arange(width)[None, :]
+    selected = np.take_along_axis(cand_cols, order, axis=1)
+    selected = np.where(rank < take[:, None], selected, n_bins)
+    selected = np.sort(selected, axis=1)
+
+    safe = np.minimum(selected, n_bins - 1)
+    freqs = freq_arr[safe]
+    vals = np.take_along_axis(smoothed, safe, axis=1)
     return [
-        _select_peaks(
-            smoothed[i],
-            freq_arr,
-            np.nonzero(mask[i])[0],
-            num_peaks,
-            skip_dc_bins,
-            min_significance,
-        )
-        for i in range(rows.shape[0])
+        _trusted_peaks(freqs[i, : take[i]].copy(), vals[i, : take[i]].copy())
+        for i in range(n_rows)
     ]

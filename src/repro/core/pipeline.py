@@ -19,6 +19,7 @@ API.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -162,6 +163,14 @@ class AnalysisPipeline:
     # these methods so the scalar path stays the reference
     # implementation of record.
     # ------------------------------------------------------------------
+    def _stage(self, name: str, items: int = 0):
+        """Stage context hook; the batch runtime overrides it to profile.
+
+        The base pipeline does no instrumentation, so the orchestration
+        below can wrap every stage unconditionally at zero cost here.
+        """
+        return nullcontext()
+
     def _validate_inputs(
         self,
         ids: np.ndarray,
@@ -291,25 +300,67 @@ class AnalysisPipeline:
         days = np.asarray(service_days, dtype=np.float64)
         blocks = np.asarray(samples, dtype=np.float64)
         self._validate_inputs(ids, days, blocks, train_labels)
+
+        with self._stage("transform", ids.shape[0]):
+            offsets, rms, psd = self.transform(blocks)
+        return self.run_from_features(ids, days, offsets, rms, psd, train_labels)
+
+    def run_from_features(
+        self,
+        pump_ids: np.ndarray,
+        service_days: np.ndarray,
+        offsets: np.ndarray,
+        rms: np.ndarray,
+        psd: np.ndarray,
+        train_labels: dict[int, str],
+    ) -> PipelineResult:
+        """Execute the workflow from precomputed transform outputs.
+
+        Everything downstream of the data transformation layer —
+        preprocessing, classifier training, ``D_a`` scoring, zone
+        classification and the RUL layer.  :meth:`run` delegates here
+        after transforming raw blocks; incremental callers that cache the
+        per-measurement transform triple across rolling-window advances
+        enter here directly with the merged features.
+
+        Args:
+            pump_ids: pump identifier per measurement, shape ``(n,)``.
+            service_days: pump service time (days) per measurement.
+            offsets: ``(n, 3)`` acceleration averages.
+            rms: ``(n,)`` RMS features.
+            psd: ``(n, K)`` PSD feature matrix.
+            train_labels: mapping from measurement index to expert label.
+
+        Returns:
+            PipelineResult with every layer's artifacts.
+        """
+        ids = np.asarray(pump_ids)
+        days = np.asarray(service_days, dtype=np.float64)
+        self._validate_inputs(ids, days, psd, train_labels)
         n = ids.shape[0]
 
-        offsets, rms, psd = self.transform(blocks)
-        valid = self.preprocess(ids, offsets, days)
+        with self._stage("preprocess", n):
+            valid = self.preprocess(ids, offsets, days)
         freqs = self.frequencies(psd.shape[1])
 
-        classifier, train_idx, labels = self._fit_classifier(
-            psd, valid, train_labels, freqs
-        )
-        da = self._score_da(classifier, psd, valid, ids, days, freqs)
-
-        zones = np.full(n, "", dtype=object)
+        with self._stage("fit_classifier", len(train_labels)):
+            classifier, train_idx, labels = self._fit_classifier(
+                psd, valid, train_labels, freqs
+            )
         valid_idx = np.nonzero(valid)[0]
-        zones[valid_idx] = classifier.classifier.predict(da[valid_idx])
+        with self._stage("score_da", int(valid_idx.size)):
+            da = self._score_da(classifier, psd, valid, ids, days, freqs)
 
-        zone_d_threshold, estimator = self._fit_rul(
-            da[train_idx], labels, days, da, valid
-        )
-        rul = self._predict_rul(estimator, ids, days, da, valid)
+        with self._stage("classify_zones", int(valid_idx.size)):
+            zones = np.full(n, "", dtype=object)
+            zones[valid_idx] = classifier.classifier.predict(da[valid_idx])
+
+        with self._stage("fit_rul"):
+            zone_d_threshold, estimator = self._fit_rul(
+                da[train_idx], labels, days, da, valid
+            )
+        with self._stage("predict_rul", int(np.unique(ids).size)):
+            rul = self._predict_rul(estimator, ids, days, da, valid)
 
         thresholds = classifier.thresholds_
         return PipelineResult(

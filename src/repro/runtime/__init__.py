@@ -11,8 +11,13 @@ analytical code:
   smoothing, vectorized local-maxima scan), bit-identical to the scalar
   reference (the parity tests enforce it);
 * :class:`~repro.runtime.fleet.FleetExecutor` — per-pump RUL and
-  diagnosis chains fanned across worker threads with chunked scheduling
-  and deterministic result ordering;
+  diagnosis chains fanned across worker threads or processes with
+  chunked scheduling and deterministic result ordering (the process
+  backend ships large matrices through shared memory, see
+  :mod:`repro.runtime.shm`);
+* :class:`~repro.runtime.incremental.IncrementalPipelineSession` —
+  rolling-window analysis that transforms only never-seen measurement
+  rows, recalling the overlap from a content-addressed per-row store;
 * :class:`~repro.runtime.cache.PeakFeatureCache` — memoized exemplar
   peaks / per-row peak features / peak distances keyed by config hash
   and data digest, so repeated scoring of the same rows (classifier
@@ -25,15 +30,21 @@ analytical code:
 from repro.runtime.batch import BatchPeakHarmonicFeature, BatchPipeline
 from repro.runtime.cache import PeakFeatureCache, TransformCache, default_peak_cache
 from repro.runtime.fleet import FleetExecutor
+from repro.runtime.incremental import IncrementalPipelineSession
 from repro.runtime.profile import RuntimeProfile, StageStats
+from repro.runtime.shm import SharedArray, SharedArraySpec, attached_view
 
 __all__ = [
     "BatchPeakHarmonicFeature",
     "BatchPipeline",
     "FleetExecutor",
+    "IncrementalPipelineSession",
     "PeakFeatureCache",
     "RuntimeProfile",
+    "SharedArray",
+    "SharedArraySpec",
     "StageStats",
     "TransformCache",
+    "attached_view",
     "default_peak_cache",
 ]

@@ -23,7 +23,7 @@ from collections import OrderedDict
 
 import numpy as np
 
-from repro.core.distance import peak_harmonic_distance
+from repro.core.distance import pack_peaks, packed_harmonic_distances, peak_harmonic_distance
 from repro.core.peaks import HarmonicPeaks
 
 
@@ -78,6 +78,28 @@ class PeakFeatureCache:
     def _put(self, key: tuple, value) -> None:
         with self._lock:
             self._store[key] = value
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+
+    def _get_many(self, keys: list[tuple]) -> list:
+        """Batch :meth:`_get` under one lock acquisition.
+
+        Fleet-scale calls probe tens of thousands of keys per stage; a
+        single critical section replaces as many lock round-trips while
+        keeping the same hit/miss accounting.
+        """
+        with self._lock:
+            store = self._store
+            out = [store.get(key) for key in keys]
+            found = sum(value is not None for value in out)
+            self.hits += found
+            self.misses += len(keys) - found
+        return out
+
+    def _put_many(self, pairs: list[tuple[tuple, object]]) -> None:
+        """Batch :meth:`_put` under one lock acquisition."""
+        with self._lock:
+            self._store.update(pairs)
             while len(self._store) > self.max_entries:
                 self._store.popitem(last=False)
 
@@ -170,6 +192,149 @@ class PeakFeatureCache:
             self._put(key, cached)
         return cached  # type: ignore[return-value]
 
+    def distances(
+        self,
+        peaks_list: list[HarmonicPeaks],
+        reference: HarmonicPeaks,
+        match_tolerance_hz: float,
+    ) -> np.ndarray:
+        """Memoized ``D_a`` for many features against one reference.
+
+        Misses are packed and resolved through the batched Algorithm 1
+        kernel in a single vectorized call (bit-identical to the scalar
+        :meth:`distance` per row); hits come straight from the store.
+        Repeated features within one call compute once.
+
+        Args:
+            peaks_list: per-measurement peak features, row order.
+            reference: the shared exemplar feature.
+            match_tolerance_hz: maximum physical frequency gap for a match.
+
+        Returns:
+            ``(len(peaks_list),)`` float64 distances, cache-backed.
+        """
+        ref_digest = self._peaks_digest(reference)
+        tol = float(match_tolerance_hz)
+        keys = [
+            ("distance", self._peaks_digest(peaks), ref_digest, tol)
+            for peaks in peaks_list
+        ]
+        out = np.empty(len(peaks_list))
+        miss_idx: list[int] = []
+        first_for_key: dict[tuple, int] = {}
+        for i, key in enumerate(keys):
+            cached = self._get(key)
+            if cached is not None:
+                out[i] = cached
+            else:
+                # Duplicate misses within one call compute once below.
+                first_for_key.setdefault(key, i)
+                miss_idx.append(i)
+        if first_for_key:
+            unique_idx = list(first_for_key.values())
+            computed = packed_harmonic_distances(
+                pack_peaks([peaks_list[i] for i in unique_idx]),
+                reference,
+                match_tolerance_hz=tol,
+            )
+            values = {}
+            for i, value in zip(unique_idx, computed):
+                values[keys[i]] = float(value)
+                self._put(keys[i], float(value))
+            for i in miss_idx:
+                out[i] = values[keys[i]]
+        return out
+
+    # ------------------------------------------------------------------
+    # Fused per-row scoring.
+    # ------------------------------------------------------------------
+    def scores_for_rows(
+        self,
+        psds: np.ndarray,
+        frequencies: np.ndarray,
+        params_key: tuple,
+        reference: HarmonicPeaks,
+        match_tolerance_hz: float,
+        compute_peaks_batch,
+    ) -> np.ndarray:
+        """``D_a`` per PSD row with a single digest pass over the rows.
+
+        The two-step path (:meth:`peaks_for_rows` then :meth:`distances`)
+        hashes every row for the peaks lookup and then every peak feature
+        for the distance lookup — two Python-level passes over the fleet
+        even when everything hits.  Here each PSD row is digested once
+        and that digest keys *both* namespaces: a warm row resolves its
+        distance directly (``("distance", row, freqs, params, ref, tol)``)
+        without ever materializing the peak feature, and a cold row fills
+        the ``peaks`` entry and the row-keyed distance entry from one
+        batched extraction + one batched Algorithm 1 call.
+
+        Args:
+            psds: ``(n, K)`` PSD matrix.
+            frequencies: ``(K,)`` bin frequencies.
+            params_key: :meth:`peak_params_key` of the extraction config.
+            reference: the shared exemplar feature.
+            match_tolerance_hz: maximum physical frequency gap for a match.
+            compute_peaks_batch: callable ``(rows) -> list[HarmonicPeaks]``
+                invoked once over the stacked peak-miss rows.
+
+        Returns:
+            ``(n,)`` float64 distances, bit-identical to the two-step path.
+        """
+        rows = np.atleast_2d(np.asarray(psds, dtype=np.float64))
+        freq_digest = array_digest(frequencies)
+        ref_digest = self._peaks_digest(reference)
+        tol = float(match_tolerance_hz)
+        row_digests = [array_digest(row) for row in rows]
+        dist_keys = [
+            ("distance", digest, freq_digest, params_key, ref_digest, tol)
+            for digest in row_digests
+        ]
+        out = np.empty(rows.shape[0])
+        cached_dists = self._get_many(dist_keys)
+        miss_idx: list[int] = []
+        first_for_key: dict[tuple, int] = {}
+        for i, cached in enumerate(cached_dists):
+            if cached is not None:
+                out[i] = cached
+            else:
+                # Duplicate rows within one call compute once below.
+                first_for_key.setdefault(dist_keys[i], i)
+                miss_idx.append(i)
+        if first_for_key:
+            unique_idx = list(first_for_key.values())
+            peak_keys = [
+                ("peaks", row_digests[i], freq_digest, params_key) for i in unique_idx
+            ]
+            cached_peaks = self._get_many(peak_keys)
+            peaks_by_row: dict[int, HarmonicPeaks] = {
+                i: peaks
+                for i, peaks in zip(unique_idx, cached_peaks)
+                if peaks is not None
+            }
+            peaks_miss = [i for i, p in zip(unique_idx, cached_peaks) if p is None]
+            if peaks_miss:
+                computed = compute_peaks_batch(rows[peaks_miss])
+                self._put_many(
+                    [
+                        (("peaks", row_digests[i], freq_digest, params_key), peaks)
+                        for i, peaks in zip(peaks_miss, computed)
+                    ]
+                )
+                peaks_by_row.update(zip(peaks_miss, computed))
+            distances = packed_harmonic_distances(
+                pack_peaks([peaks_by_row[i] for i in unique_idx]),
+                reference,
+                match_tolerance_hz=tol,
+            )
+            values: dict[tuple, float] = {
+                dist_keys[i]: float(value) for i, value in zip(unique_idx, distances)
+            }
+            self._put_many(list(values.items()))
+            for i in miss_idx:
+                out[i] = values[dist_keys[i]]
+        return out
+
     @staticmethod
     def _peaks_digest(peaks: HarmonicPeaks) -> bytes:
         freqs = np.ascontiguousarray(peaks.frequencies, dtype=np.float64)
@@ -237,6 +402,34 @@ class TransformCache:
         # Store private copies: callers typically pass views into their
         # own (mutable, possibly short-lived) result buffers.
         entry = (offsets.copy(), rms.copy(), psd.copy())
+        with self._lock:
+            self._store[key] = entry
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+
+    def put_owned(
+        self,
+        key: bytes,
+        offsets: np.ndarray,
+        rms: np.ndarray,
+        psd: np.ndarray,
+    ) -> None:
+        """Store arrays the caller hands over, without defensive copies.
+
+        Contract: the caller transfers ownership and must have frozen
+        every base buffer (``setflags(write=False)``) so no alias can
+        mutate the stored entry afterwards.  The batch pipeline uses
+        this on the cold path, where copying fleet-scale PSD chunks
+        would cost more than the transform cache saves.
+
+        Raises:
+            ValueError: if any array (or its base buffer) is writable.
+        """
+        for arr in (offsets, rms, psd):
+            base = arr.base if arr.base is not None else arr
+            if arr.flags.writeable or getattr(base, "flags", base).writeable:
+                raise ValueError("put_owned requires frozen (read-only) arrays")
+        entry = (offsets, rms, psd)
         with self._lock:
             self._store[key] = entry
             while len(self._store) > self.max_entries:

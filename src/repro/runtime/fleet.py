@@ -24,14 +24,38 @@ compare against.
 from __future__ import annotations
 
 import os
+import pickle
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 DEFAULT_MAX_WORKERS = 4
+
+#: Supported execution backends.
+BACKENDS = ("thread", "process")
+
+
+def _run_chunk_in_process(payload: tuple) -> list:
+    """Top-level chunk runner for the process pool (must be picklable)."""
+    fn, chunk_items = payload
+    return [fn(item) for item in chunk_items]
+
+
+class _StarApply:
+    """Picklable adapter turning ``fn(args_tuple)`` into ``fn(*args)``.
+
+    Replaces the lambda the pump fan-out used to build, so per-pump work
+    can cross a process boundary whenever ``fn`` itself pickles.
+    """
+
+    def __init__(self, fn: Callable[..., R]):
+        self.fn = fn
+
+    def __call__(self, args: tuple) -> R:
+        return self.fn(*args)
 
 #: Injection point name (duck-typed contract with repro.chaos.inject).
 FLEET_TASK_POINT = "fleet.task"
@@ -63,11 +87,12 @@ class FleetExecutor:
         chunk_size: int | None = None,
         injector=None,
         task_retry=None,
+        backend: str = "thread",
     ):
         """Create an executor.
 
         Args:
-            max_workers: thread-pool size; ``None`` auto-sizes, ``0`` or
+            max_workers: worker-pool size; ``None`` auto-sizes, ``0`` or
                 ``1`` forces serial in-line execution.
             chunk_size: work items per scheduled chunk; ``None`` derives
                 ``ceil(n / (4 * workers))`` per call so every worker gets
@@ -80,13 +105,26 @@ class FleetExecutor:
                 :class:`repro.chaos.retry.RetryPolicy`) wrapping each
                 task; transient errors are retried in place, preserving
                 result ordering.
+            backend: ``"thread"`` (default) or ``"process"``.  The
+                process pool sidesteps the GIL for Python-heavy per-pump
+                chains, but requires picklable work; calls that cannot
+                cross a process boundary (unpicklable ``fn``/items, or a
+                configured injector/retry whose counters live in this
+                process) silently fall back to threads, preserving the
+                exact same chunking and result order.
         """
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.max_workers = resolve_workers(max_workers)
         self.chunk_size = chunk_size
         self.injector = injector
         self.task_retry = task_retry
+        self.backend = backend
+        #: Backend the most recent map actually used ("serial" /
+        #: "thread" / "process") — observability for tests and profiles.
+        self.last_backend: str | None = None
 
     def _call(self, fn: Callable[[T], R], item: T) -> R:
         """Run one task through the fault / retry envelope."""
@@ -122,18 +160,45 @@ class FleetExecutor:
         if n == 0:
             return []
         if self.max_workers <= 1 or n == 1:
+            self.last_backend = "serial"
             return [self._call(fn, item) for item in items]
 
-        def run_chunk(chunk: range) -> list[R]:
-            return [self._call(fn, items[i]) for i in chunk]
-
         chunks = self._chunks(n)
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            chunk_results = list(pool.map(run_chunk, chunks))
+        if self._processes_usable(fn, items):
+            payloads = [(fn, [items[i] for i in chunk]) for chunk in chunks]
+            self.last_backend = "process"
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                chunk_results = list(pool.map(_run_chunk_in_process, payloads))
+        else:
+
+            def run_chunk(chunk: range) -> list[R]:
+                return [self._call(fn, items[i]) for i in chunk]
+
+            self.last_backend = "thread"
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                chunk_results = list(pool.map(run_chunk, chunks))
         out: list[R] = []
         for partial in chunk_results:
             out.extend(partial)
         return out
+
+    def _processes_usable(self, fn: Callable[[T], R], items: Sequence[T]) -> bool:
+        """Whether this map can actually run on the process pool.
+
+        Chaos hooks disqualify it outright — the injector's deterministic
+        RNG streams and the retry policy's counters are in-process state
+        that must observe every task.  Otherwise a one-item pickle probe
+        decides: if ``fn`` and a work item round-trip, so will the rest.
+        """
+        if self.backend != "process":
+            return False
+        if self.injector is not None or self.task_retry is not None:
+            return False
+        try:
+            pickle.dumps((fn, items[0]))
+        except Exception:
+            return False
+        return True
 
     def map_pumps(
         self,
@@ -149,6 +214,6 @@ class FleetExecutor:
         """
         entries = list(pump_items)
         results = self.map_ordered(
-            lambda entry: fn(*entry[1:]), entries
+            _StarApply(fn), [tuple(entry[1:]) for entry in entries]
         )
         return {entry[0]: result for entry, result in zip(entries, results)}

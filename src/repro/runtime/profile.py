@@ -40,6 +40,13 @@ class StageStats:
             return 0.0
         return self.seconds * 1000.0 / self.items
 
+    @property
+    def items_per_second(self) -> float:
+        """Throughput in items/s (0.0 without items or elapsed time)."""
+        if self.items <= 0 or self.seconds <= 0:
+            return 0.0
+        return self.items / self.seconds
+
 
 @dataclass
 class RuntimeProfile:
@@ -93,6 +100,7 @@ class RuntimeProfile:
                         "calls": s.calls,
                         "seconds": s.seconds,
                         "items": s.items,
+                        "items_per_second": s.items_per_second,
                     }
                     for name, s in self.stages.items()
                 },
@@ -105,15 +113,20 @@ class RuntimeProfile:
         total = self.total_seconds
         header = (
             f"  {'stage':<22} {'calls':>6} {'items':>9} "
-            f"{'seconds':>9} {'ms/item':>9} {'share':>7}"
+            f"{'seconds':>9} {'ms/item':>9} {'items/s':>10} {'share':>7}"
         )
         lines.append(header)
         for stats in self.stages.values():
             share = stats.seconds / total if total > 0 else 0.0
             per_item = f"{stats.ms_per_item:9.3f}" if stats.items else f"{'-':>9}"
+            throughput = (
+                f"{stats.items_per_second:10.1f}"
+                if stats.items_per_second > 0
+                else f"{'-':>10}"
+            )
             lines.append(
                 f"  {stats.name:<22} {stats.calls:>6} {stats.items:>9} "
-                f"{stats.seconds:>9.3f} {per_item} {share:>6.1%}"
+                f"{stats.seconds:>9.3f} {per_item} {throughput} {share:>6.1%}"
             )
         lines.append(f"  {'total':<22} {'':>6} {'':>9} {total:>9.3f}")
         if self.counters:

@@ -1,0 +1,79 @@
+"""Shared-memory transport for large arrays across worker processes.
+
+The process-pool fleet backend must not pickle fleet-scale measurement
+matrices into every worker: a paper-scale ``(N, K, 3)`` float64 matrix is
+hundreds of MiB, and ``ProcessPoolExecutor`` would serialize it once per
+task.  :class:`SharedArray` places the matrix in POSIX shared memory
+once; workers attach by name and map the same physical pages read-only.
+
+The helpers are deliberately minimal — create, attach, view, close — and
+ownership is explicit: exactly one side (the creator) unlinks.  Workers
+must drop their numpy views before closing, which :func:`attached_view`
+handles by scoping the view to a context manager.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle a worker needs to attach to a shared array."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedArray:
+    """Owner side of a numpy array living in POSIX shared memory."""
+
+    def __init__(self, array: np.ndarray):
+        """Copy ``array`` into a freshly created shared-memory segment."""
+        arr = np.ascontiguousarray(array)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+        self._view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self._shm.buf)
+        self._view[...] = arr
+        self.spec = SharedArraySpec(self._shm.name, arr.shape, arr.dtype.str)
+
+    @property
+    def view(self) -> np.ndarray:
+        """The owner's view over the shared pages."""
+        return self._view
+
+    def close(self, unlink: bool = True) -> None:
+        """Release the owner's mapping (and the segment when ``unlink``)."""
+        # The numpy view must die before the mapping can be closed.
+        self._view = None
+        self._shm.close()
+        if unlink:
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@contextmanager
+def attached_view(spec: SharedArraySpec, writable: bool = False):
+    """Worker-side context manager yielding an attached numpy view.
+
+    Read-only by default; ``writable=True`` is for output buffers the
+    worker fills (each worker must write only its own row slice).
+    """
+    shm = shared_memory.SharedMemory(name=spec.name)
+    try:
+        view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+        if not writable:
+            view.flags.writeable = False
+        yield view
+        del view
+    finally:
+        shm.close()

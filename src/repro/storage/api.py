@@ -91,6 +91,12 @@ class DataRetrievalAPI:
         self._retry = retry
         self._clock = clock
 
+    @property
+    def database(self) -> VibrationDatabase:
+        """The backing database (engines inspect ``in_memory`` for the
+        process-backend fallback)."""
+        return self._db
+
     def advance(self, delta_days: float) -> None:
         """Slide the analysis window forward (periodic refresh)."""
         self.period = self.period.advanced(delta_days)
@@ -165,6 +171,13 @@ class DataRetrievalAPI:
             number of measurements discarded for not matching the
             majority block length ``K``.
         """
+        if self._injector is None and self._retry is None:
+            # Fast path: no chaos hooks to honour, so the store can decode
+            # BLOBs straight into one preallocated matrix (bit-identical
+            # to the record path below, without materializing records).
+            return self._db.measurements.query_arrays(
+                self.period.start_day, self.period.end_day, pump_ids
+            )
         records = self.get_measurements(pump_ids)
         if not records:
             empty = np.empty(0)

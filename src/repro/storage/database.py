@@ -79,10 +79,27 @@ CREATE INDEX IF NOT EXISTS idx_dead_letters_pump ON dead_letters (pump_id);
 
 
 class VibrationDatabase:
-    """Owner of the SQLite connection and the typed store facades."""
+    """Owner of the SQLite connection and the typed store facades.
+
+    File-backed databases get throughput pragmas on open: WAL journaling
+    (readers never block the gateway's writes), ``synchronous=NORMAL``
+    (safe under WAL), memory-mapped I/O for the BLOB-heavy measurement
+    table, and in-memory temp stores.  In-memory databases skip them —
+    WAL and mmap are meaningless without a file.
+    """
+
+    #: Bytes of the database file to memory-map (pragma ``mmap_size``).
+    MMAP_BYTES = 256 * 1024 * 1024
 
     def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self.in_memory = path == ":memory:" or "mode=memory" in path
         self._conn = sqlite3.connect(path)
+        if not self.in_memory:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(f"PRAGMA mmap_size={self.MMAP_BYTES}")
+            self._conn.execute("PRAGMA temp_store=MEMORY")
         self._conn.executescript(_SCHEMA)
         self.measurements = MeasurementStore(self._conn)
         self.labels = LabelStore(self._conn)
@@ -140,8 +157,11 @@ class MeasurementStore:
 
     @staticmethod
     def _decode(blob: bytes, num_samples: int) -> np.ndarray:
-        arr = np.frombuffer(blob, dtype="<f4").astype(np.float64)
-        return arr.reshape(num_samples, 3)
+        # Zero-copy: a read-only float32 view over the BLOB bytes — no
+        # per-row allocation and no silent float64 upcast.  Consumers that
+        # need float64 math cast at the batch level (exactly: every
+        # float32 value is representable in float64).
+        return np.frombuffer(blob, dtype="<f4").reshape(num_samples, 3)
 
     def add(self, measurement: Measurement) -> None:
         self.add_many([measurement])
@@ -159,10 +179,12 @@ class MeasurementStore:
             )
             for m in measurements
         ]
-        self._conn.executemany(
-            "INSERT OR REPLACE INTO measurements VALUES (?, ?, ?, ?, ?, ?, ?)", rows
-        )
-        self._conn.commit()
+        # One transaction for the whole batch: a single fsync instead of
+        # one per implicit autocommit, and all-or-nothing semantics.
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO measurements VALUES (?, ?, ?, ?, ?, ?, ?)", rows
+            )
 
     def query(
         self,
@@ -196,6 +218,64 @@ class MeasurementStore:
             )
         return out
 
+    def query_arrays(
+        self,
+        start_day: float = -np.inf,
+        end_day: float = np.inf,
+        pump_ids: Sequence[int] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, dict[int, int]]:
+        """Bulk fetch straight into dense arrays, skipping per-row records.
+
+        Same selection, ordering and majority-``K`` filtering as
+        :meth:`query` followed by record stacking — and bit-identical
+        output — but each BLOB is decoded with ``np.frombuffer`` directly
+        into one preallocated contiguous ``(N, K, 3)`` float64 matrix:
+        no per-row :class:`Measurement` objects, no per-row array
+        allocations, one exact float32→float64 upcast on assignment.
+
+        Returns:
+            ``(pump_ids, measurement_ids, service_days, samples,
+            dropped_incomplete)`` where ``samples`` has shape
+            ``(N, K, 3)`` and ``dropped_incomplete`` maps pump id →
+            measurements discarded for not matching the majority block
+            length.
+        """
+        sql = (
+            "SELECT pump_id, measurement_id, service_day, num_samples, samples"
+            " FROM measurements WHERE timestamp_day >= ? AND timestamp_day < ?"
+        )
+        params: list[object] = [float(start_day), float(end_day)]
+        if pump_ids is not None:
+            placeholders = ",".join("?" * len(pump_ids))
+            sql += f" AND pump_id IN ({placeholders})"
+            params.extend(int(p) for p in pump_ids)
+        sql += " ORDER BY timestamp_day, pump_id, measurement_id"
+        rows = self._conn.execute(sql, params).fetchall()
+        if not rows:
+            empty = np.empty(0)
+            return empty.astype(int), empty.astype(int), empty, np.empty((0, 0, 3)), {}
+
+        lengths = np.asarray([row[3] for row in rows])
+        k = int(np.bincount(lengths).argmax())
+        keep = lengths == k
+        n_keep = int(keep.sum())
+        dropped_incomplete: dict[int, int] = {}
+        pumps = np.empty(n_keep, dtype=int)
+        mids = np.empty(n_keep, dtype=int)
+        service = np.empty(n_keep)
+        samples = np.empty((n_keep, k, 3))
+        i = 0
+        for (pump_id, mid, service_day, num_samples, blob), kept in zip(rows, keep):
+            if not kept:
+                dropped_incomplete[pump_id] = dropped_incomplete.get(pump_id, 0) + 1
+                continue
+            pumps[i] = pump_id
+            mids[i] = mid
+            service[i] = service_day
+            samples[i] = np.frombuffer(blob, dtype="<f4").reshape(k, 3)
+            i += 1
+        return pumps, mids, service, samples, dropped_incomplete
+
     def count(self) -> int:
         (n,) = self._conn.execute("SELECT COUNT(*) FROM measurements").fetchone()
         return int(n)
@@ -214,8 +294,10 @@ class LabelStore:
         rows = [
             (l.pump_id, l.measurement_id, l.zone, l.source, int(l.valid)) for l in labels
         ]
-        self._conn.executemany("INSERT OR REPLACE INTO labels VALUES (?, ?, ?, ?, ?)", rows)
-        self._conn.commit()
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO labels VALUES (?, ?, ?, ?, ?)", rows
+            )
 
     def query(
         self,
@@ -261,8 +343,8 @@ class EventStore:
             (e.pump_id, e.timestamp_day, e.kind, e.service_day_at_event, e.true_rul_days)
             for e in events
         ]
-        self._conn.executemany("INSERT INTO events VALUES (?, ?, ?, ?, ?)", rows)
-        self._conn.commit()
+        with self._conn:
+            self._conn.executemany("INSERT INTO events VALUES (?, ?, ?, ?, ?)", rows)
 
     def query(
         self,
@@ -313,10 +395,10 @@ class DeadLetterStore:
             )
             for r in records
         ]
-        self._conn.executemany(
-            "INSERT INTO dead_letters VALUES (?, ?, ?, ?, ?, ?)", rows
-        )
-        self._conn.commit()
+        with self._conn:
+            self._conn.executemany(
+                "INSERT INTO dead_letters VALUES (?, ?, ?, ?, ?, ?)", rows
+            )
 
     def query(
         self,
@@ -364,8 +446,8 @@ class TemperatureStore:
 
     def add_many(self, records: Iterable[TemperatureRecord]) -> None:
         rows = [(r.pump_id, r.timestamp_day, r.temperature_c) for r in records]
-        self._conn.executemany("INSERT INTO temperature VALUES (?, ?, ?)", rows)
-        self._conn.commit()
+        with self._conn:
+            self._conn.executemany("INSERT INTO temperature VALUES (?, ?, ?)", rows)
 
     def query(
         self,

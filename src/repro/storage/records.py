@@ -69,7 +69,14 @@ class Measurement:
     sampling_rate_hz: float = 4000.0
 
     def __post_init__(self) -> None:
-        arr = np.asarray(self.samples, dtype=np.float64)
+        # float32 blocks (the storage layer's zero-copy BLOB views) are
+        # kept as-is — upcasting here would force a copy per record and
+        # every analysis consumer casts to float64 itself (exactly, since
+        # every float32 is representable).  Everything else is coerced to
+        # float64 as before.
+        arr = np.asarray(self.samples)
+        if arr.dtype != np.float32:
+            arr = np.asarray(arr, dtype=np.float64)
         if arr.ndim != 2 or arr.shape[1] != 3:
             raise ValueError(f"samples must have shape (K, 3), got {arr.shape}")
         object.__setattr__(self, "samples", arr)

@@ -17,7 +17,12 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.distance import peak_harmonic_distance, peak_harmonic_distances
+from repro.core.distance import (
+    pack_peaks,
+    packed_harmonic_distances,
+    peak_harmonic_distance,
+    peak_harmonic_distances,
+)
 from repro.core.peaks import HarmonicPeaks, extract_harmonic_peaks
 
 
@@ -92,6 +97,32 @@ class TestMetricAxioms:
         batched = peak_harmonic_distances([a, b], b, match_tolerance_hz=tol)
         assert batched[0] == peak_harmonic_distance(a, b, match_tolerance_hz=tol)
         assert batched[1] == 0.0
+
+
+class TestPackedKernelParity:
+    """The vectorized Algorithm 1 kernel is bit-identical to the scalar
+    loop for *any* batch: ragged peak counts (including empty features
+    and empty batches), any reference, any tolerance."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_packed_kernel_equals_scalar_loop(self, data):
+        n_rows = data.draw(st.integers(min_value=0, max_value=8))
+        rows = [data.draw(peaks_strategy()) for _ in range(n_rows)]
+        reference = data.draw(peaks_strategy())
+        tol = data.draw(tolerances)
+
+        batched = packed_harmonic_distances(
+            pack_peaks(rows), reference, match_tolerance_hz=tol
+        )
+        scalar = np.asarray(
+            [
+                peak_harmonic_distance(row, reference, match_tolerance_hz=tol)
+                for row in rows
+            ]
+        )
+        assert batched.shape == (n_rows,)
+        assert np.array_equal(batched, scalar)
 
 
 class TestZeroPaddingInvariance:

@@ -71,6 +71,98 @@ class TestMeasurementStore:
         assert db.measurements.count() == 10
 
 
+class TestZeroCopyDecode:
+    def test_decode_is_float32_little_endian(self, db):
+        db.measurements.add(make_measurement(seed=3))
+        [restored] = db.measurements.query()
+        assert restored.samples.dtype == np.dtype("<f4")
+
+    def test_decode_is_readonly_view_over_blob(self, db):
+        """``_decode`` wraps the BLOB bytes directly — a read-only view,
+        not a per-row copy."""
+        db.measurements.add(make_measurement(seed=4))
+        [restored] = db.measurements.query()
+        arr = restored.samples
+        assert not arr.flags.writeable
+        assert not arr.flags.owndata
+        # The view chain bottoms out at the immutable BLOB buffer.
+        base = arr
+        while base.base is not None and isinstance(base.base, np.ndarray):
+            base = base.base
+        assert isinstance(base.base, (bytes, memoryview))
+        with pytest.raises((ValueError, RuntimeError)):
+            arr[0, 0] = 1.0
+
+    def test_decode_roundtrips_exact_float32(self, db):
+        original = make_measurement(seed=5)
+        db.measurements.add(original)
+        [restored] = db.measurements.query()
+        assert np.array_equal(
+            restored.samples, original.samples.astype(np.float32)
+        )
+
+
+class TestQueryArrays:
+    def test_matches_record_query_bit_exact(self, db):
+        db.measurements.add_many(
+            make_measurement(pump=i % 3, mid=i, day=float(i), seed=i)
+            for i in range(12)
+        )
+        records = db.measurements.query()
+        pumps, mids, service, samples, dropped = db.measurements.query_arrays()
+        assert dropped == {}
+        assert list(pumps) == [m.pump_id for m in records]
+        assert list(mids) == [m.measurement_id for m in records]
+        assert list(service) == [m.service_day for m in records]
+        stacked = np.stack([m.samples for m in records]).astype(np.float64)
+        assert samples.dtype == np.float64
+        assert np.array_equal(samples, stacked)
+
+    def test_filters_match_record_query(self, db):
+        db.measurements.add_many(
+            make_measurement(pump=i % 2, mid=i, day=float(i)) for i in range(8)
+        )
+        records = db.measurements.query(start_day=2.0, end_day=6.0, pump_ids=[1])
+        pumps, mids, _, samples, _ = db.measurements.query_arrays(
+            start_day=2.0, end_day=6.0, pump_ids=[1]
+        )
+        assert list(mids) == [m.measurement_id for m in records]
+        assert (pumps == 1).all()
+        assert samples.shape[0] == len(records)
+
+    def test_majority_length_filter_reports_dropped(self, db):
+        db.measurements.add_many(
+            make_measurement(pump=0, mid=i, day=float(i), k=16) for i in range(4)
+        )
+        db.measurements.add(make_measurement(pump=1, mid=99, day=9.0, k=8))
+        pumps, mids, _, samples, dropped = db.measurements.query_arrays()
+        assert samples.shape == (4, 16, 3)
+        assert 99 not in mids
+        assert dropped == {1: 1}
+
+    def test_empty_result(self, db):
+        pumps, mids, service, samples, dropped = db.measurements.query_arrays()
+        assert pumps.size == 0 and samples.shape == (0, 0, 3) and dropped == {}
+
+
+class TestConnectionPragmas:
+    def test_file_backed_uses_wal_and_mmap(self, tmp_path):
+        with VibrationDatabase(str(tmp_path / "vibes.db")) as database:
+            conn = database._conn
+            (mode,) = conn.execute("PRAGMA journal_mode").fetchone()
+            assert mode.lower() == "wal"
+            (sync,) = conn.execute("PRAGMA synchronous").fetchone()
+            assert sync == 1  # NORMAL
+            (mmap,) = conn.execute("PRAGMA mmap_size").fetchone()
+            assert mmap == VibrationDatabase.MMAP_BYTES
+
+    def test_in_memory_skips_wal(self):
+        with VibrationDatabase() as database:
+            assert database.in_memory
+            (mode,) = database._conn.execute("PRAGMA journal_mode").fetchone()
+            assert mode.lower() != "wal"
+
+
 class TestLabelStore:
     def test_valid_filter(self, db):
         db.labels.add(LabelRecord(0, 0, "A", valid=True))
