@@ -1,0 +1,120 @@
+"""Performance benchmark: supervised vs plain fleet execution.
+
+Arming :class:`SupervisionPolicy` buys crash-safety — per-chunk
+deadlines, restart-with-backoff, salvage (docs/RELIABILITY.md) — and
+must stay essentially free when nothing goes wrong: the supervisor only
+adds per-chunk bookkeeping and a completion-driven wait loop, never
+per-item work.  This module times ``FleetExecutor.map_ordered`` over a
+BLAS-heavy per-item workload with and without supervision (minimum over
+rounds, identical results asserted) and gates the overhead at **≤ 10%**.
+
+Set ``REPRO_PERF_RELAXED=1`` (the PR-smoke CI job does) to widen the
+gate for noisy shared runners; main branch CI runs the full gate.
+
+Every run writes ``BENCH_4.json`` to the repo root — workload shape,
+rounds, raw timings, overhead ratio and gate status — so CI can archive
+the numbers as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.runtime import FleetExecutor, SupervisionPolicy
+
+pytestmark = pytest.mark.perf
+
+WORKERS = 4
+CHUNK_SIZE = 4
+N_ITEMS = 64
+ROUNDS = 5
+
+RELAXED = os.environ.get("REPRO_PERF_RELAXED", "") not in ("", "0")
+
+#: Supervised wall-clock divided by plain wall-clock, min over rounds.
+GATES = {"supervised_overhead": 1.25 if RELAXED else 1.10}
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_4.json"
+
+_REPORT: dict = {
+    "benchmark": "supervised_fleet",
+    "relaxed_gates": RELAXED,
+    "gates": dict(GATES),
+    "workload": {
+        "items": N_ITEMS,
+        "workers": WORKERS,
+        "chunk_size": CHUNK_SIZE,
+        "rounds": ROUNDS,
+    },
+}
+
+_TIMINGS: dict[str, float] = {}
+
+ITEMS = list(range(N_ITEMS))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_report():
+    """Persist the machine-readable benchmark record at module teardown."""
+    yield
+    BENCH_PATH.write_text(json.dumps(_REPORT, indent=2, sort_keys=True) + "\n")
+
+
+def work(x):
+    """A few milliseconds of GIL-releasing numpy per item — the shape of
+    the engine's per-pump RUL fan-out."""
+    a = np.full((160, 160), float(x % 7 + 1))
+    for _ in range(4):
+        a = np.tanh(a @ a.T / 160.0)
+    return float(a.sum())
+
+
+@pytest.fixture(scope="module")
+def expected():
+    return [work(x) for x in ITEMS]
+
+
+def test_perf_plain_fleet(benchmark, expected):
+    ex = FleetExecutor(max_workers=WORKERS, chunk_size=CHUNK_SIZE)
+    result = benchmark.pedantic(
+        lambda: ex.map_ordered(work, ITEMS), rounds=ROUNDS, iterations=1
+    )
+    _TIMINGS["plain"] = benchmark.stats.stats.min
+    assert result == expected
+
+
+def test_perf_supervised_fleet(benchmark, expected):
+    ex = FleetExecutor(
+        max_workers=WORKERS, chunk_size=CHUNK_SIZE, supervision=SupervisionPolicy()
+    )
+    result = benchmark.pedantic(
+        lambda: ex.map_ordered(work, ITEMS), rounds=ROUNDS, iterations=1
+    )
+    _TIMINGS["supervised"] = benchmark.stats.stats.min
+    # Parity first: same floats, and a clean run tallies zero activity.
+    assert result == expected
+    assert not ex.supervision_report.has_activity
+
+
+def test_perf_supervised_overhead_gate():
+    """Recorded overhead; runs after the two timing benchmarks above."""
+    if len(_TIMINGS) < 2:  # pragma: no cover - benchmark-only collection
+        pytest.skip("timing benchmarks did not run")
+    overhead = _TIMINGS["supervised"] / _TIMINGS["plain"]
+    _REPORT["seconds"] = dict(_TIMINGS)
+    _REPORT["overhead"] = overhead
+    _REPORT["gate_pass"] = {
+        "supervised_overhead": overhead <= GATES["supervised_overhead"]
+    }
+    print(
+        f"\nsupervised fleet overhead over plain ({N_ITEMS} items, "
+        f"{WORKERS} workers): {overhead:.3f}x "
+        f"(plain {_TIMINGS['plain'] * 1e3:.1f} ms, "
+        f"supervised {_TIMINGS['supervised'] * 1e3:.1f} ms)"
+    )
+    assert overhead <= GATES["supervised_overhead"]

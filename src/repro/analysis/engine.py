@@ -20,8 +20,9 @@ from repro.core.peaks import extract_harmonic_peaks
 from repro.core.pipeline import AnalysisPipeline, PipelineConfig, PipelineResult
 from repro.core.ransac import LineModel
 from repro.core.rul import RULPrediction
-from repro.runtime.batch import BatchPipeline, finite_block_mask
-from repro.runtime.fleet import FleetExecutor
+from repro.runtime.batch import DEFAULT_CHUNK_ROWS, BatchPipeline, finite_block_mask
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.fleet import FleetExecutor, SupervisionPolicy, SupervisionReport
 from repro.runtime.incremental import IncrementalPipelineSession
 from repro.runtime.profile import RuntimeProfile
 from repro.storage.api import DataRetrievalAPI
@@ -66,6 +67,14 @@ class EngineConfig:
             rolling-window advances — each engine run transforms only
             measurements it has never seen.  Bit-identical to a cold
             run; requires the batch runtime.
+        supervision: optional
+            :class:`~repro.runtime.fleet.SupervisionPolicy` arming the
+            fleet executor's self-healing path (deadlines, bounded
+            restarts, salvage).  Ignored when a pre-built executor is
+            injected — the executor's own policy wins.
+        checkpoint_dir: optional directory for the transform checkpoint
+            journal; when set, batch-runtime runs record every completed
+            transform chunk and resume bit-identically after a crash.
     """
 
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
@@ -76,6 +85,8 @@ class EngineConfig:
     max_workers: int | None = None
     executor_backend: str = "thread"
     incremental: bool = False
+    supervision: SupervisionPolicy | None = None
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.rotation_hz is not None and self.rotation_hz <= 0:
@@ -105,6 +116,8 @@ class DataHealth:
         dead_letters: upstream dead-letter records associated with this
             run (transport/gateway quarantine; filled in by the caller
             that owns the dead-letter queue).
+        corrupt_blobs: pump id → stored rows quarantined for a BLOB
+            checksum mismatch (at-rest corruption caught on decode).
     """
 
     total_retrieved: int
@@ -112,6 +125,7 @@ class DataHealth:
     quarantined_nonfinite: dict[int, int] = field(default_factory=dict)
     dropped_incomplete: dict[int, int] = field(default_factory=dict)
     dead_letters: int = 0
+    corrupt_blobs: dict[int, int] = field(default_factory=dict)
 
     @property
     def n_quarantined(self) -> int:
@@ -122,8 +136,14 @@ class DataHealth:
         return sum(self.dropped_incomplete.values())
 
     @property
+    def n_corrupt(self) -> int:
+        return sum(self.corrupt_blobs.values())
+
+    @property
     def has_issues(self) -> bool:
-        return bool(self.n_quarantined or self.n_dropped or self.dead_letters)
+        return bool(
+            self.n_quarantined or self.n_dropped or self.dead_letters or self.n_corrupt
+        )
 
 
 @dataclass
@@ -142,6 +162,9 @@ class AnalysisReport:
             engine was configured without a rotation frequency).
         data_health: quarantine / drop accounting for the run; ``None``
             only for reports built by legacy callers.
+        supervision: fleet-supervision activity during this run (the
+            per-run delta of the executor's cumulative tally); ``None``
+            when the executor ran unsupervised.
     """
 
     pump_ids: np.ndarray
@@ -153,6 +176,7 @@ class AnalysisReport:
     n_labels_used: int
     diagnoses: dict[int, Diagnosis] = field(default_factory=dict)
     data_health: DataHealth | None = None
+    supervision: SupervisionReport | None = None
 
     @property
     def lifetime_models(self) -> list[LineModel]:
@@ -184,6 +208,19 @@ class AnalysisReport:
                     f"{prediction.rul_days:>9.0f}"
                 )
         return lines
+
+
+class _DiagnosePump:
+    """Picklable per-pump diagnosis task (a closure could not cross the
+    process boundary, silently forcing the diagnosis fan-out onto the
+    thread pool even under ``executor_backend="process"``)."""
+
+    def __init__(self, diagnoser: SpectralDiagnoser, freqs: np.ndarray):
+        self.diagnoser = diagnoser
+        self.freqs = freqs
+
+    def __call__(self, mean_psd: np.ndarray) -> Diagnosis:
+        return self.diagnoser.diagnose(extract_harmonic_peaks(mean_psd, self.freqs))
 
 
 class VibrationAnalysisEngine:
@@ -238,8 +275,17 @@ class VibrationAnalysisEngine:
             executor = self.executor or FleetExecutor(
                 max_workers=self.config.max_workers,
                 backend=self._resolve_backend(),
+                supervision=self.config.supervision,
             )
-            pipeline = BatchPipeline(self.config.pipeline, executor=executor)
+            checkpoint = None
+            if self.config.checkpoint_dir is not None:
+                checkpoint = CheckpointManager(
+                    self.config.checkpoint_dir,
+                    run_key=f"transform-v1:chunk_rows={DEFAULT_CHUNK_ROWS}",
+                )
+            pipeline = BatchPipeline(
+                self.config.pipeline, executor=executor, checkpoint=checkpoint
+            )
             if self.config.incremental:
                 self._session = IncrementalPipelineSession(pipeline)
         else:
@@ -264,7 +310,7 @@ class VibrationAnalysisEngine:
                 callers keep working.
         """
         matrices = self.api.measurement_matrices_with_health()
-        pumps, mids, service, samples, dropped_incomplete = matrices
+        pumps, mids, service, samples, dropped_incomplete, corrupt_blobs = matrices
         total_retrieved = int(pumps.size)
         if pumps.size == 0:
             raise InsufficientDataError("analysis period contains no measurements")
@@ -290,6 +336,7 @@ class VibrationAnalysisEngine:
             analyzed=int(pumps.size),
             quarantined_nonfinite=quarantined_nonfinite,
             dropped_incomplete=dropped_incomplete,
+            corrupt_blobs=corrupt_blobs,
         )
 
         # Map stored labels onto the retrieved measurement ordering
@@ -308,6 +355,10 @@ class VibrationAnalysisEngine:
             )
 
         pipeline = self._make_pipeline()
+        sup_tally = getattr(
+            getattr(pipeline, "executor", None), "supervision_report", None
+        )
+        sup_before = sup_tally.as_dict() if sup_tally is not None else None
         if self._session is not None:
             result = self._session.run(
                 pumps, service, samples, train_labels, profile=profile
@@ -327,6 +378,12 @@ class VibrationAnalysisEngine:
                 diagnoses = self._diagnose(pumps, service, result, pipeline)
         else:
             diagnoses = self._diagnose(pumps, service, result, pipeline)
+        supervision = None
+        if sup_tally is not None:
+            sup_after = sup_tally.as_dict()
+            supervision = SupervisionReport(
+                **{key: sup_after[key] - sup_before[key] for key in sup_after}
+            )
         return AnalysisReport(
             pump_ids=pumps,
             measurement_ids=mids,
@@ -337,6 +394,7 @@ class VibrationAnalysisEngine:
             n_labels_used=len(train_labels),
             diagnoses=diagnoses,
             data_health=health,
+            supervision=supervision,
         )
 
     def _diagnose(
@@ -359,9 +417,7 @@ class VibrationAnalysisEngine:
         diagnoser.fit_baseline(extract_harmonic_peaks(healthy_psd, freqs))
 
         window = max(1, self.config.diagnosis_window)
-
-        def diagnose_pump(mean_psd: np.ndarray) -> Diagnosis:
-            return diagnoser.diagnose(extract_harmonic_peaks(mean_psd, freqs))
+        diagnose_pump = _DiagnosePump(diagnoser, freqs)
 
         items: list[tuple[int, np.ndarray]] = []
         for pump in np.unique(pumps):

@@ -148,22 +148,45 @@ def render_report(report: AnalysisReport, horizon_days: float = 30.0) -> str:
     if data_health is not None and data_health.has_issues:
         lines.append("")
         lines.append("DATA HEALTH:")
-        lines.append(
+        summary = (
             f"  analyzed {data_health.analyzed} of "
             f"{data_health.total_retrieved} retrieved measurements; "
             f"{data_health.n_quarantined} quarantined (non-finite), "
             f"{data_health.n_dropped} dropped (incomplete), "
             f"{data_health.dead_letters} dead-lettered upstream"
         )
+        if data_health.n_corrupt:
+            summary += f", {data_health.n_corrupt} corrupt at rest"
+        lines.append(summary)
         affected = sorted(
-            set(data_health.quarantined_nonfinite) | set(data_health.dropped_incomplete)
+            set(data_health.quarantined_nonfinite)
+            | set(data_health.dropped_incomplete)
+            | set(data_health.corrupt_blobs)
         )
         for pump in affected:
             quarantined = data_health.quarantined_nonfinite.get(pump, 0)
             dropped = data_health.dropped_incomplete.get(pump, 0)
-            lines.append(
-                f"  pump {pump}: {quarantined} quarantined, {dropped} dropped"
+            pump_line = f"  pump {pump}: {quarantined} quarantined, {dropped} dropped"
+            corrupt = data_health.corrupt_blobs.get(pump, 0)
+            if corrupt:
+                pump_line += f", {corrupt} corrupt"
+            lines.append(pump_line)
+
+    supervision = report.supervision
+    if supervision is not None and supervision.has_activity:
+        lines.append("")
+        lines.append("SUPERVISION:")
+        lines.append(
+            f"  {supervision.restarts} worker restart(s) "
+            f"({supervision.worker_deaths} death(s), "
+            f"{supervision.hung_chunks} hung chunk(s)); "
+            f"{supervision.abandoned_chunks} chunk(s) abandoned"
+            + (
+                f", {supervision.salvaged_chunks} salvaged"
+                if supervision.abandoned_chunks
+                else ""
             )
+        )
 
     wasted = report.wasted_rul
     lines.append("")

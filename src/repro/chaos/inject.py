@@ -226,3 +226,29 @@ class FaultInjector:
             self._record(point, "delay", f"{spec.magnitude:.4f}s")
             total += spec.magnitude
         return total
+
+    # ------------------------------------------------------------------
+    # Worker-death hook (fleet.worker_kill).
+    # ------------------------------------------------------------------
+    def kills(self, point: str) -> bool:
+        """True when a ``kill`` fault fires: the supervised fleet executor
+        treats this as the death of the worker running the current chunk."""
+        fired = self._fired(point, ("kill",))
+        if fired:
+            self._record(point, "kill")
+        return bool(fired)
+
+    # ------------------------------------------------------------------
+    # At-rest corruption hooks (storage.blob_corrupt).
+    # ------------------------------------------------------------------
+    def corrupts(self, point: str) -> bool:
+        """True when a ``corrupt`` fault fires against a stored BLOB."""
+        fired = self._fired(point, ("corrupt",))
+        if fired:
+            self._record(point, "corrupt")
+        return bool(fired)
+
+    def corrupt_index(self, point: str, n: int) -> int:
+        """Deterministic byte offset to damage within an ``n``-byte BLOB."""
+        with self._lock:
+            return int(self._rng(point).integers(max(1, n)))

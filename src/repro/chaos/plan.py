@@ -10,14 +10,17 @@ not dice rolls.
 
 Injection points (see :mod:`repro.chaos.inject` for the hook contract):
 
-==================  ====================================================
-``flush.data``      data-packet delivery inside a Flush transfer
-``flush.nack``      NACK control messages (base station → mote)
-``gateway.convert`` count-block → Measurement conversion at the gateway
-``storage.write``   gateway batch insert into the sensor database
-``storage.read``    analysis-period retrieval in the data API
-``fleet.task``      per-pump work items inside the fleet executor
-==================  ====================================================
+=======================  ===============================================
+``flush.data``           data-packet delivery inside a Flush transfer
+``flush.nack``           NACK control messages (base station → mote)
+``gateway.convert``      count-block → Measurement conversion at the gateway
+``storage.write``        gateway batch insert into the sensor database
+``storage.read``         analysis-period retrieval in the data API
+``storage.blob_corrupt`` at-rest bit rot of stored measurement BLOBs
+``fleet.task``           per-pump work items inside the fleet executor
+``fleet.worker_kill``    death of the worker running a fleet chunk
+``fleet.worker_hang``    stall of the worker running a fleet chunk
+=======================  ===============================================
 """
 
 from __future__ import annotations
@@ -26,8 +29,9 @@ from dataclasses import dataclass, replace
 
 #: Fault kinds a spec may request.  Not every kind is meaningful at every
 #: point (e.g. ``delay`` at ``flush.data`` is a no-op); injectors apply
-#: only the kinds their point supports.
-FAULT_KINDS = ("drop", "corrupt", "truncate", "duplicate", "delay", "error")
+#: only the kinds their point supports.  ``kill`` is the worker-death
+#: kind: only the supervised fleet executor observes it.
+FAULT_KINDS = ("drop", "corrupt", "truncate", "duplicate", "delay", "error", "kill")
 
 # Canonical injection point names.  Core modules reference these as plain
 # strings so they never need to import the chaos package.
@@ -36,7 +40,10 @@ FLUSH_NACK = "flush.nack"
 GATEWAY_CONVERT = "gateway.convert"
 STORAGE_WRITE = "storage.write"
 STORAGE_READ = "storage.read"
+STORAGE_BLOB_CORRUPT = "storage.blob_corrupt"
 FLEET_TASK = "fleet.task"
+FLEET_WORKER_KILL = "fleet.worker_kill"
+FLEET_WORKER_HANG = "fleet.worker_hang"
 
 INJECTION_POINTS = (
     FLUSH_DATA,
@@ -44,7 +51,10 @@ INJECTION_POINTS = (
     GATEWAY_CONVERT,
     STORAGE_WRITE,
     STORAGE_READ,
+    STORAGE_BLOB_CORRUPT,
     FLEET_TASK,
+    FLEET_WORKER_KILL,
+    FLEET_WORKER_HANG,
 )
 
 
@@ -168,6 +178,29 @@ BUILTIN_PLANS: dict[str, FaultPlan] = {
         "stalled-fleet",
         (FLEET_TASK, "delay", 0.3, 0.002),
         (FLEET_TASK, "error", 0.2),
+    ),
+    # Workers die and stall mid-chunk: the supervised fleet executor must
+    # restart them with backoff and still produce ordered, bit-identical
+    # results.  Hangs are short so the sweep stays fast.
+    "worker-carnage": _plan(
+        "worker-carnage",
+        (FLEET_WORKER_KILL, "kill", 0.25),
+        (FLEET_WORKER_HANG, "delay", 0.2, 0.02),
+    ),
+    # At-rest bit rot: stored BLOBs flip bytes after ingest.  Checksum
+    # verification must quarantine the damaged rows to the dead-letter
+    # table instead of poisoning downstream PSD/RUL results.
+    "bit-rot-at-rest": _plan(
+        "bit-rot-at-rest",
+        (STORAGE_BLOB_CORRUPT, "corrupt", 0.08),
+    ),
+    # The ISSUE 4 acceptance scenario: worker kills plus stored-BLOB
+    # corruption.  The run must complete, restart workers, quarantine
+    # corrupt rows, and keep surviving outputs bit-identical.
+    "crash-recovery": _plan(
+        "crash-recovery",
+        (FLEET_WORKER_KILL, "kill", 0.2),
+        (STORAGE_BLOB_CORRUPT, "corrupt", 0.05),
     ),
     # Everything at once, mildly: the whole stack degrades gracefully.
     "kitchen-sink": _plan(

@@ -23,7 +23,13 @@ import numpy as np
 from repro.analysis.engine import EngineConfig, VibrationAnalysisEngine
 from repro.analysis.reporting import render_report
 from repro.chaos.inject import FaultInjector
-from repro.chaos.plan import FaultPlan
+from repro.chaos.plan import (
+    FLEET_TASK,
+    FLEET_WORKER_HANG,
+    FLEET_WORKER_KILL,
+    STORAGE_BLOB_CORRUPT,
+    FaultPlan,
+)
 from repro.chaos.retry import (
     CircuitBreaker,
     RetryExhaustedError,
@@ -31,7 +37,7 @@ from repro.chaos.retry import (
     SimulatedClock,
 )
 from repro.core.pipeline import PipelineConfig
-from repro.runtime.fleet import FleetExecutor
+from repro.runtime.fleet import FleetExecutor, SupervisionPolicy
 from repro.sensornet.flush import flush_transfer
 from repro.sensornet.gateway import GatewayBridge, SensorCalibration
 from repro.sensornet.network import CollectionStats, DeliveredMeasurement
@@ -76,6 +82,10 @@ class ChaosScenario:
             to match the small fleet.
         max_workers: fleet-executor thread count (0 = serial, the
             deterministic reference).
+        backend: fleet-executor backend (``"thread"`` or ``"process"``).
+        supervision: explicit fleet supervision policy; ``None`` lets
+            the runner auto-arm a fast policy whenever the plan carries
+            worker kill/hang faults (and run unsupervised otherwise).
         seed: fleet-simulation master seed (the fault plan carries its
             own, independent seed).
     """
@@ -89,6 +99,8 @@ class ChaosScenario:
     scale_g_per_count: float = 1.0 / 1024.0
     ransac_min_inliers: int = 12
     max_workers: int = 0
+    backend: str = "thread"
+    supervision: SupervisionPolicy | None = None
     seed: int = 11
 
 
@@ -106,6 +118,11 @@ class ChaosResult:
         dead_letters: quarantine records accumulated across all stages.
         injector: the fault injector (None without a plan); its
             ``counts`` say which faults actually fired.
+        supervision: the fleet executor's cumulative
+            :class:`~repro.runtime.fleet.SupervisionReport` (None when
+            the run was unsupervised).
+        corrupted: ``(pump_id, measurement_id)`` pairs whose stored
+            BLOBs were damaged at rest by ``storage.blob_corrupt``.
         failure: short description of why analysis was skipped (e.g. no
             data survived transport), or None on success.  A populated
             ``failure`` is a *handled* outcome, not a crash.
@@ -118,6 +135,8 @@ class ChaosResult:
     stored: int
     dead_letters: list
     injector: FaultInjector | None
+    supervision: object | None = None
+    corrupted: list = field(default_factory=list)
     failure: str | None = None
 
 
@@ -320,6 +339,14 @@ def run_chaos_scenario(
         database.dead_letters.add_many(dead.records)
 
     # ------------------------------------------------------------------
+    # Bit rot at rest: flip bytes inside stored BLOBs *after* ingest so
+    # the only defense left is the store's checksum verification.
+    # ------------------------------------------------------------------
+    corrupted: list[tuple[int, int]] = []
+    if injector is not None and plan.for_point(STORAGE_BLOB_CORRUPT):
+        corrupted = database.measurements.fault_blobs(injector, STORAGE_BLOB_CORRUPT)
+
+    # ------------------------------------------------------------------
     # Analysis: graceful degradation instead of raising.
     # ------------------------------------------------------------------
     period = AnalysisPeriod(0.0, scenario.duration_days + 1.0)
@@ -332,10 +359,30 @@ def run_chaos_scenario(
         ),
         max_workers=scenario.max_workers,
     )
+    # A retry policy on the executor forces the thread backend and is
+    # only useful against per-task faults, so it rides along only when
+    # the plan actually carries ``fleet.task`` specs.  Worker kill/hang
+    # faults are the supervisor's job: auto-arm a fast policy (tight
+    # backoff, generous restart budget) unless the scenario pinned one.
+    task_faults = bool(chaos and plan.for_point(FLEET_TASK))
+    worker_faults = bool(
+        chaos
+        and (plan.for_point(FLEET_WORKER_KILL) or plan.for_point(FLEET_WORKER_HANG))
+    )
+    supervision = scenario.supervision
+    if supervision is None and worker_faults:
+        supervision = SupervisionPolicy(
+            chunk_deadline_s=None if scenario.max_workers <= 1 else 5.0,
+            max_restarts=10,
+            backoff_base_s=0.001,
+            backoff_max_s=0.01,
+        )
     executor = FleetExecutor(
         max_workers=scenario.max_workers,
         injector=injector,
-        task_retry=io_policy,
+        task_retry=io_policy if task_faults else None,
+        backend=scenario.backend,
+        supervision=supervision,
     )
     engine = VibrationAnalysisEngine(api, engine_config, executor=executor)
 
@@ -349,9 +396,16 @@ def run_chaos_scenario(
         # RetryExhaustedError when storage reads stayed down.  Both are
         # degraded-but-handled outcomes the result records.
         failure = f"{type(exc).__name__}: {exc}"
-    else:
+
+    # Checksum mismatches are quarantined *inside* the store during the
+    # engine's reads; merge its dead-letter rows with the transport- and
+    # gateway-stage queue so one list accounts for every lost record.
+    storage_dead = database.dead_letters.query(stage="storage") if chaos else []
+    all_dead = (list(dead.records) if dead is not None else []) + storage_dead
+
+    if report is not None:
         if report.data_health is not None and dead is not None:
-            report.data_health.dead_letters = len(dead)
+            report.data_health.dead_letters = len(all_dead)
         text = render_report(report)
 
     return ChaosResult(
@@ -360,7 +414,9 @@ def run_chaos_scenario(
         text=text,
         transport=transport,
         stored=stored,
-        dead_letters=list(dead.records) if dead is not None else [],
+        dead_letters=all_dead,
         injector=injector,
+        supervision=getattr(executor, "supervision_report", None),
+        corrupted=corrupted,
         failure=failure,
     )

@@ -85,6 +85,33 @@ def _add_analyze_parser(subparsers) -> None:
             " file-backed databases (in-memory DBs fall back to threads)"
         ),
     )
+    p.add_argument(
+        "--supervise",
+        action="store_true",
+        help=(
+            "arm fleet supervision: per-chunk deadlines, worker restart"
+            " with backoff, partial-result salvage (see docs/RELIABILITY.md)"
+        ),
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help=(
+            "journal transform chunks into DIR so an interrupted run can"
+            " be resumed bit-identically with --resume DIR"
+        ),
+    )
+    p.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help=(
+            "resume from a checkpoint manifest written by --checkpoint;"
+            " a missing or stale manifest falls back to a fresh run"
+            " (and re-journals into DIR)"
+        ),
+    )
 
 
 def _add_plan_parser(subparsers) -> None:
@@ -218,12 +245,31 @@ def _cmd_simulate(args, out) -> int:
 
 
 def _cmd_analyze(args, out) -> int:
+    import os
+    import sys
+
     from repro.analysis.engine import EngineConfig, VibrationAnalysisEngine
     from repro.analysis.reporting import render_report
     from repro.core.pipeline import PipelineConfig
-    from repro.runtime import RuntimeProfile
+    from repro.runtime import RuntimeProfile, SupervisionPolicy
+    from repro.runtime.checkpoint import MANIFEST_NAME
     from repro.storage.api import AnalysisPeriod, DataRetrievalAPI
     from repro.storage.database import VibrationDatabase
+
+    checkpoint_dir = args.resume or args.checkpoint
+    if args.resume and args.checkpoint and args.resume != args.checkpoint:
+        print("error: --resume and --checkpoint name different directories", file=out)
+        return 2
+    if args.resume is not None:
+        manifest = os.path.join(args.resume, MANIFEST_NAME)
+        if not os.path.exists(manifest):
+            # Diagnostics go to stderr: the report on stdout must stay
+            # byte-identical to a plain run (CI diffs it).
+            print(
+                f"note: no checkpoint manifest at {manifest}; "
+                "running fresh (and journaling a new checkpoint)",
+                file=sys.stderr,
+            )
 
     with VibrationDatabase(args.db) as db:
         api = DataRetrievalAPI(db, AnalysisPeriod(args.start, args.end))
@@ -234,6 +280,8 @@ def _cmd_analyze(args, out) -> int:
                 use_batch_runtime=not args.scalar,
                 max_workers=args.workers,
                 executor_backend=args.backend,
+                supervision=SupervisionPolicy() if args.supervise else None,
+                checkpoint_dir=checkpoint_dir,
             ),
         )
         profile = RuntimeProfile() if args.profile else None

@@ -29,14 +29,24 @@ analytical code:
 
 from repro.runtime.batch import BatchPeakHarmonicFeature, BatchPipeline
 from repro.runtime.cache import PeakFeatureCache, TransformCache, default_peak_cache
-from repro.runtime.fleet import FleetExecutor
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.fleet import (
+    ABANDONED,
+    FleetExecutor,
+    SupervisionExhaustedError,
+    SupervisionPolicy,
+    SupervisionReport,
+    WorkerKilledError,
+)
 from repro.runtime.incremental import IncrementalPipelineSession
 from repro.runtime.profile import RuntimeProfile, StageStats
 from repro.runtime.shm import SharedArray, SharedArraySpec, attached_view
 
 __all__ = [
+    "ABANDONED",
     "BatchPeakHarmonicFeature",
     "BatchPipeline",
+    "CheckpointManager",
     "FleetExecutor",
     "IncrementalPipelineSession",
     "PeakFeatureCache",
@@ -44,7 +54,11 @@ __all__ = [
     "SharedArray",
     "SharedArraySpec",
     "StageStats",
+    "SupervisionExhaustedError",
+    "SupervisionPolicy",
+    "SupervisionReport",
     "TransformCache",
+    "WorkerKilledError",
     "attached_view",
     "default_peak_cache",
 ]

@@ -250,6 +250,7 @@ class BatchPipeline(AnalysisPipeline):
         cache: PeakFeatureCache | None = None,
         transform_cache: TransformCache | None = None,
         chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        checkpoint=None,
     ):
         super().__init__(config)
         if chunk_rows < 1:
@@ -260,6 +261,11 @@ class BatchPipeline(AnalysisPipeline):
             transform_cache if transform_cache is not None else TransformCache()
         )
         self.chunk_rows = chunk_rows
+        #: Optional :class:`~repro.runtime.checkpoint.CheckpointManager`;
+        #: when armed, every completed transform chunk is journaled and
+        #: recalled on resume, and warm transform-cache hits are
+        #: revalidated against the manifest's superseded set.
+        self.checkpoint = checkpoint
         self._profile: RuntimeProfile | None = None
 
     # ------------------------------------------------------------------
@@ -291,24 +297,52 @@ class BatchPipeline(AnalysisPipeline):
         offsets = np.empty((n, 3))
         rms = np.empty(n)
         psd = np.empty((n, k))
-        missed: list[tuple[int, int, bytes]] = []
-        for lo in range(0, n, self.chunk_rows):
+        ckpt = self.checkpoint
+        missed: list[tuple[int, int, int, bytes]] = []
+        resumed: list[tuple[int, int, int, bytes]] = []
+        for index, lo in enumerate(range(0, n, self.chunk_rows)):
             hi = min(lo + self.chunk_rows, n)
             # Content-addressed transform memo: measurement blocks are
             # immutable, so one digest pass (~5x cheaper than the DCT
             # pipeline) recalls the whole chunk on re-analysis.
             chunk_key = array_digest(blocks[lo:hi])
             cached = self.transform_cache.get(chunk_key)
+            if cached is not None and ckpt is not None and not ckpt.is_current(
+                chunk_key
+            ):
+                # A later run overwrote this chunk slot: the warm entry
+                # must not resurrect superseded output.  Recompute.
+                self.transform_cache.invalidate(chunk_key)
+                cached = None
             if cached is not None:
                 offsets[lo:hi], rms[lo:hi], psd[lo:hi] = cached
-            else:
-                missed.append((lo, hi, chunk_key))
+                continue
+            if ckpt is not None:
+                journaled = ckpt.load_chunk(index, chunk_key)
+                if journaled is not None:
+                    offsets[lo:hi], rms[lo:hi], psd[lo:hi] = journaled
+                    resumed.append((index, lo, hi, chunk_key))
+                    continue
+            missed.append((index, lo, hi, chunk_key))
         if self._use_process_transform(missed):
             self._transform_chunks_in_processes(blocks, missed, offsets, rms, psd)
+            if ckpt is not None:
+                for index, lo, hi, chunk_key in missed:
+                    ckpt.record_chunk(
+                        index, lo, hi, chunk_key,
+                        offsets[lo:hi], rms[lo:hi], psd[lo:hi],
+                    )
         else:
-            for lo, hi, _ in missed:
+            for index, lo, hi, chunk_key in missed:
                 _transform_tiled(blocks, lo, hi, offsets, rms, psd)
-        if missed:
+                # Journal each chunk the moment it completes, so a crash
+                # mid-run resumes from here rather than from scratch.
+                if ckpt is not None:
+                    ckpt.record_chunk(
+                        index, lo, hi, chunk_key,
+                        offsets[lo:hi], rms[lo:hi], psd[lo:hi],
+                    )
+        if missed or resumed:
             # Ownership transfer: freeze the result buffers and store the
             # missed chunks as views instead of copies — copying
             # fleet-scale PSD chunks costs more than the cache recall
@@ -317,13 +351,13 @@ class BatchPipeline(AnalysisPipeline):
             offsets.setflags(write=False)
             rms.setflags(write=False)
             psd.setflags(write=False)
-            for lo, hi, chunk_key in missed:
+            for _, lo, hi, chunk_key in missed + resumed:
                 self.transform_cache.put_owned(
                     chunk_key, offsets[lo:hi], rms[lo:hi], psd[lo:hi]
                 )
         return offsets, rms, psd
 
-    def _use_process_transform(self, missed: list[tuple[int, int, bytes]]) -> bool:
+    def _use_process_transform(self, missed: list[tuple[int, int, int, bytes]]) -> bool:
         """Process-parallel transform only when it can actually pay off.
 
         Requires the executor's process backend (opt-in), more than one
@@ -339,7 +373,7 @@ class BatchPipeline(AnalysisPipeline):
     def _transform_chunks_in_processes(
         self,
         blocks: np.ndarray,
-        missed: list[tuple[int, int, bytes]],
+        missed: list[tuple[int, int, int, bytes]],
         offsets: np.ndarray,
         rms: np.ndarray,
         psd: np.ndarray,
@@ -358,12 +392,12 @@ class BatchPipeline(AnalysisPipeline):
         ) as shm_rms, SharedArray(psd) as shm_psd:
             payloads = [
                 (shm_in.spec, shm_off.spec, shm_rms.spec, shm_psd.spec, lo, hi)
-                for lo, hi, _ in missed
+                for _, lo, hi, _key in missed
             ]
             workers = min(self.executor.max_workers, len(missed))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 list(pool.map(_transform_chunk_in_process, payloads))
-            for lo, hi, _ in missed:
+            for _, lo, hi, _key in missed:
                 offsets[lo:hi] = shm_off.view[lo:hi]
                 rms[lo:hi] = shm_rms.view[lo:hi]
                 psd[lo:hi] = shm_psd.view[lo:hi]
@@ -462,6 +496,12 @@ class BatchPipeline(AnalysisPipeline):
             self._profile = profile
             hits0, misses0 = self.cache.hits, self.cache.misses
             t_hits0, t_misses0 = self.transform_cache.hits, self.transform_cache.misses
+            ckpt = self.checkpoint
+            c_hits0, c_misses0 = (
+                (ckpt.hits, ckpt.misses) if ckpt is not None else (0, 0)
+            )
+            sup = self.executor.supervision_report
+            sup0 = sup.as_dict() if sup is not None else None
             try:
                 yield
                 if profile is not None:
@@ -474,6 +514,14 @@ class BatchPipeline(AnalysisPipeline):
                         "transform_cache_misses", self.transform_cache.misses - t_misses0
                     )
                     profile.count("fleet_workers", self.executor.max_workers)
+                    if ckpt is not None:
+                        profile.count("checkpoint_hits", ckpt.hits - c_hits0)
+                        profile.count("checkpoint_misses", ckpt.misses - c_misses0)
+                    if sup0 is not None:
+                        now = self.executor.supervision_report.as_dict()
+                        profile.add_supervision(
+                            {key: now[key] - sup0[key] for key in now}
+                        )
             finally:
                 self._profile = None
 

@@ -381,6 +381,16 @@ class TransformCache:
             self.hits = 0
             self.misses = 0
 
+    def invalidate(self, key: bytes) -> None:
+        """Drop one entry (no-op when absent).
+
+        The batch pipeline calls this when a checkpoint manifest marks a
+        chunk digest as superseded — a stale warm entry must never
+        resurrect a chunk that a later run overwrote.
+        """
+        with self._lock:
+            self._store.pop(key, None)
+
     def get(self, key: bytes) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
         """Cached ``(offsets, rms, psd)`` for a raw-chunk digest, or None."""
         with self._lock:

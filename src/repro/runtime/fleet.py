@@ -19,6 +19,19 @@ worker scheduling.  Determinism rules:
 ``max_workers=0`` or a single-item workload degrades to a plain in-line
 loop, which is also the reference behaviour the determinism tests
 compare against.
+
+Supervision
+-----------
+Passing a :class:`SupervisionPolicy` arms the self-healing execution
+path: each chunk runs under a deadline budget, dead workers (a raised
+:class:`WorkerKilledError` on the thread backend, a broken pool on the
+process backend) trigger a bounded restart with exponential backoff, and
+chunks that exhaust their restart budget are either salvaged (their items
+come back as the :data:`ABANDONED` sentinel and ``map_pumps`` drops the
+pump) or raise :class:`SupervisionExhaustedError`.  All activity is
+tallied in a :class:`SupervisionReport` on the executor.  Because chunk
+boundaries and result assembly are unchanged, a supervised run that
+needed zero interventions is bit-identical to an unsupervised one.
 """
 
 from __future__ import annotations
@@ -26,7 +39,15 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -38,9 +59,118 @@ DEFAULT_MAX_WORKERS = 4
 BACKENDS = ("thread", "process")
 
 
+class WorkerKilledError(RuntimeError):
+    """A fleet worker died mid-chunk (injected or real)."""
+
+
+class SupervisionExhaustedError(RuntimeError):
+    """A chunk burned through its restart budget with ``salvage=False``."""
+
+
+class _Abandoned:
+    """Sentinel for items whose chunk exhausted its restart budget."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<ABANDONED>"
+
+
+ABANDONED = _Abandoned()
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the fleet executor supervises its workers.
+
+    Attributes:
+        chunk_deadline_s: wall-clock budget per chunk attempt before it is
+            declared hung and restarted; ``None`` disables the deadline.
+            Enforced only on pooled backends — a serial run has no second
+            worker to take over a hung chunk.
+        max_restarts: restart budget per chunk (beyond the first attempt).
+        backoff_base_s: initial restart backoff; doubles per attempt.
+        backoff_max_s: backoff ceiling.
+        salvage: when a chunk exhausts its budget, return
+            :data:`ABANDONED` for its items (True) instead of raising
+            :class:`SupervisionExhaustedError` (False).
+        poll_interval_s: supervisor wake-up interval while enforcing a
+            deadline.
+    """
+
+    chunk_deadline_s: float | None = 30.0
+    max_restarts: int = 5
+    backoff_base_s: float = 0.01
+    backoff_max_s: float = 1.0
+    salvage: bool = True
+    poll_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.chunk_deadline_s is not None and self.chunk_deadline_s <= 0:
+            raise ValueError("chunk_deadline_s must be positive or None")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before restart number ``attempt + 1`` (0-based)."""
+        return min(self.backoff_max_s, self.backoff_base_s * (2.0**attempt))
+
+
+@dataclass
+class SupervisionReport:
+    """Tally of supervision activity, cumulative over an executor's life."""
+
+    chunks: int = 0
+    restarts: int = 0
+    worker_deaths: int = 0
+    hung_chunks: int = 0
+    salvaged_chunks: int = 0
+    abandoned_chunks: int = 0
+    abandoned_items: int = 0
+
+    @property
+    def has_activity(self) -> bool:
+        """True when supervision actually intervened at least once."""
+        return bool(
+            self.restarts
+            or self.worker_deaths
+            or self.hung_chunks
+            or self.abandoned_chunks
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "chunks": self.chunks,
+            "restarts": self.restarts,
+            "worker_deaths": self.worker_deaths,
+            "hung_chunks": self.hung_chunks,
+            "salvaged_chunks": self.salvaged_chunks,
+            "abandoned_chunks": self.abandoned_chunks,
+            "abandoned_items": self.abandoned_items,
+        }
+
+
 def _run_chunk_in_process(payload: tuple) -> list:
     """Top-level chunk runner for the process pool (must be picklable)."""
     fn, chunk_items = payload
+    return [fn(item) for item in chunk_items]
+
+
+def _run_supervised_chunk_in_process(payload: tuple) -> list:
+    """Supervised chunk runner: honours parent-drawn kill/hang faults.
+
+    A ``kill`` is a hard ``os._exit`` — the pool genuinely loses the
+    worker, exactly like an OOM kill or segfault, so the parent-side
+    recovery path (rebuild pool, requeue in-flight chunks) is exercised
+    for real rather than simulated.
+    """
+    fn, chunk_items, kill, hang_s = payload
+    if hang_s > 0:
+        time.sleep(hang_s)
+    if kill:
+        os._exit(3)
     return [fn(item) for item in chunk_items]
 
 
@@ -57,11 +187,17 @@ class _StarApply:
     def __call__(self, args: tuple) -> R:
         return self.fn(*args)
 
-#: Injection point name (duck-typed contract with repro.chaos.inject).
+#: Injection point names (duck-typed contract with repro.chaos.inject).
 FLEET_TASK_POINT = "fleet.task"
+FLEET_KILL_POINT = "fleet.worker_kill"
+FLEET_HANG_POINT = "fleet.worker_hang"
 
 #: Cap on injected per-task delay so chaos suites stay fast.
 MAX_INJECTED_DELAY_S = 0.1
+
+#: Cap on injected worker hangs — long enough to trip a test deadline,
+#: short enough that zombie workers drain quickly.
+MAX_INJECTED_HANG_S = 2.0
 
 
 def resolve_workers(max_workers: int | None) -> int:
@@ -88,6 +224,7 @@ class FleetExecutor:
         injector=None,
         task_retry=None,
         backend: str = "thread",
+        supervision: SupervisionPolicy | None = None,
     ):
         """Create an executor.
 
@@ -100,7 +237,9 @@ class FleetExecutor:
             injector: optional chaos fault injector; every task is
                 faulted at ``fleet.task`` (injected delays and transient
                 errors), in serial and pooled mode alike so the fault
-                stream is identical for both.
+                stream is identical for both.  Under supervision, chunk
+                submissions additionally draw ``fleet.worker_kill`` and
+                ``fleet.worker_hang`` faults.
             task_retry: optional retry policy (duck-typed
                 :class:`repro.chaos.retry.RetryPolicy`) wrapping each
                 task; transient errors are retried in place, preserving
@@ -108,10 +247,14 @@ class FleetExecutor:
             backend: ``"thread"`` (default) or ``"process"``.  The
                 process pool sidesteps the GIL for Python-heavy per-pump
                 chains, but requires picklable work; calls that cannot
-                cross a process boundary (unpicklable ``fn``/items, or a
-                configured injector/retry whose counters live in this
-                process) silently fall back to threads, preserving the
-                exact same chunking and result order.
+                cross a process boundary (unpicklable ``fn``/items, a
+                retry policy, or an injector with ``fleet.task`` specs —
+                whose counters live in this process) silently fall back
+                to threads, preserving the exact same chunking and
+                result order.
+            supervision: optional :class:`SupervisionPolicy` arming the
+                self-healing execution path; activity is tallied in
+                :attr:`supervision_report`.
         """
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
@@ -122,6 +265,11 @@ class FleetExecutor:
         self.injector = injector
         self.task_retry = task_retry
         self.backend = backend
+        self.supervision = supervision
+        #: Cumulative supervision tally (None when unsupervised).
+        self.supervision_report: SupervisionReport | None = (
+            SupervisionReport() if supervision is not None else None
+        )
         #: Backend the most recent map actually used ("serial" /
         #: "thread" / "process") — observability for tests and profiles.
         self.last_backend: str | None = None
@@ -146,25 +294,235 @@ class FleetExecutor:
     def _chunks(self, n: int) -> list[range]:
         size = self.chunk_size
         if size is None:
-            size = max(1, -(-n // (4 * self.max_workers)))
+            size = max(1, -(-n // (4 * max(1, self.max_workers))))
         return [range(lo, min(lo + size, n)) for lo in range(0, n, size)]
+
+    # ------------------------------------------------------------------
+    # Supervision internals.
+    # ------------------------------------------------------------------
+    def _draw_worker_faults(self) -> tuple[bool, float]:
+        """Parent-side kill/hang draws for one chunk attempt.
+
+        Drawn in the supervisor (never in workers) so the fault stream is
+        a deterministic function of the submission sequence and works
+        identically for the thread and process backends — the injector's
+        lock does not need to cross a process boundary.
+        """
+        inj = self.injector
+        if inj is None:
+            return False, 0.0
+        kills = getattr(inj, "kills", None)
+        kill = bool(kills(FLEET_KILL_POINT)) if kills is not None else False
+        hang = min(inj.delay_s(FLEET_HANG_POINT), MAX_INJECTED_HANG_S)
+        return kill, hang
+
+    def _exhaust_chunk(
+        self, results: dict[int, list], chunks: list[range], ci: int, attempt: int
+    ) -> None:
+        """A chunk burned its restart budget: salvage or raise."""
+        policy = self.supervision
+        report = self.supervision_report
+        if not policy.salvage:
+            raise SupervisionExhaustedError(
+                f"chunk {ci} failed after {attempt + 1} attempts "
+                f"(max_restarts={policy.max_restarts})"
+            )
+        report.abandoned_chunks += 1
+        report.abandoned_items += len(chunks[ci])
+        results[ci] = [ABANDONED] * len(chunks[ci])
+
+    def _map_supervised_serial(
+        self, fn: Callable[[T], R], items: Sequence[T], chunks: list[range]
+    ) -> list:
+        policy = self.supervision
+        report = self.supervision_report
+        self.last_backend = "serial"
+        results: dict[int, list] = {}
+        for ci, chunk in enumerate(chunks):
+            attempt = 0
+            while True:
+                kill, hang_s = self._draw_worker_faults()
+                if hang_s > 0:
+                    time.sleep(hang_s)
+                if not kill:
+                    results[ci] = [self._call(fn, items[i]) for i in chunk]
+                    report.chunks += 1
+                    break
+                report.worker_deaths += 1
+                if attempt >= policy.max_restarts:
+                    self._exhaust_chunk(results, chunks, ci, attempt)
+                    break
+                time.sleep(policy.backoff_s(attempt))
+                attempt += 1
+                report.restarts += 1
+        self._tally_salvage(results, len(chunks))
+        out: list = []
+        for ci in range(len(chunks)):
+            out.extend(results[ci])
+        return out
+
+    def _run_chunk_with_faults(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        chunk: range,
+        kill: bool,
+        hang_s: float,
+    ) -> list:
+        """Thread-backend chunk body honouring parent-drawn faults."""
+        if hang_s > 0:
+            time.sleep(hang_s)
+        if kill:
+            raise WorkerKilledError("injected worker death")
+        return [self._call(fn, items[i]) for i in chunk]
+
+    def _map_supervised_pooled(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        chunks: list[range],
+        use_processes: bool,
+    ) -> list:
+        policy = self.supervision
+        report = self.supervision_report
+        self.last_backend = "process" if use_processes else "thread"
+        n_chunks = len(chunks)
+        results: dict[int, list] = {}
+        #: (chunk_index, attempt) queue; attempts beyond 0 are restarts.
+        pending: deque[tuple[int, int]] = deque((ci, 0) for ci in range(n_chunks))
+        #: future -> (chunk_index, attempt, submitted_at, kill_flagged)
+        inflight: dict = {}
+
+        def new_pool():
+            if use_processes:
+                return ProcessPoolExecutor(max_workers=self.max_workers)
+            return ThreadPoolExecutor(max_workers=self.max_workers)
+
+        def submit(pool, ci: int, attempt: int) -> None:
+            kill, hang_s = self._draw_worker_faults()
+            if use_processes:
+                payload = (fn, [items[i] for i in chunks[ci]], kill, hang_s)
+                fut = pool.submit(_run_supervised_chunk_in_process, payload)
+            else:
+                fut = pool.submit(
+                    self._run_chunk_with_faults, fn, items, chunks[ci], kill, hang_s
+                )
+            inflight[fut] = (ci, attempt, time.monotonic(), kill)
+
+        def requeue(ci: int, attempt: int) -> None:
+            """Restart a failed chunk attempt (or give up on it)."""
+            if attempt >= policy.max_restarts:
+                self._exhaust_chunk(results, chunks, ci, attempt)
+                return
+            time.sleep(policy.backoff_s(attempt))
+            report.restarts += 1
+            pending.append((ci, attempt + 1))
+
+        pool = new_pool()
+        try:
+            while len(results) < n_chunks:
+                while pending and len(inflight) < self.max_workers:
+                    ci, attempt = pending.popleft()
+                    submit(pool, ci, attempt)
+                if not inflight:
+                    # Everything left was abandoned via salvage.
+                    break
+                timeout = (
+                    policy.poll_interval_s
+                    if policy.chunk_deadline_s is not None
+                    else None
+                )
+                done, _ = wait(
+                    list(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                pool_broken = False
+                for fut in done:
+                    if fut not in inflight:
+                        continue
+                    ci, attempt, _, kill_flagged = inflight.pop(fut)
+                    try:
+                        results[ci] = fut.result()
+                        report.chunks += 1
+                    except WorkerKilledError:
+                        report.worker_deaths += 1
+                        requeue(ci, attempt)
+                    except BrokenProcessPool:
+                        # The worker running this chunk died and took the
+                        # whole pool with it.  Rebuild, requeue the
+                        # culprit with its attempt spent, and requeue
+                        # collateral in-flight chunks for free — their
+                        # failure was not their own.
+                        report.worker_deaths += 1
+                        requeue(ci, attempt)
+                        flagged_any = kill_flagged
+                        for other in list(inflight):
+                            oci, oattempt, _, okill = inflight.pop(other)
+                            if okill and not flagged_any:
+                                report.worker_deaths += 1
+                                requeue(oci, oattempt)
+                                flagged_any = True
+                            else:
+                                pending.append((oci, oattempt))
+                        pool.shutdown(wait=False)
+                        pool = new_pool()
+                        pool_broken = True
+                        break
+                if pool_broken:
+                    continue
+                if policy.chunk_deadline_s is not None:
+                    now = time.monotonic()
+                    for fut in list(inflight):
+                        ci, attempt, t0, _ = inflight[fut]
+                        if now - t0 > policy.chunk_deadline_s:
+                            # Can't preempt the worker — drop the future
+                            # (its late result is ignored) and restart
+                            # the chunk elsewhere.
+                            fut.cancel()
+                            del inflight[fut]
+                            report.hung_chunks += 1
+                            report.worker_deaths += 1
+                            requeue(ci, attempt)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        self._tally_salvage(results, n_chunks)
+        out: list = []
+        for ci in range(n_chunks):
+            out.extend(results[ci])
+        return out
+
+    def _tally_salvage(self, results: dict[int, list], n_chunks: int) -> None:
+        """Count chunks whose results survived a map with abandonment."""
+        abandoned_here = sum(
+            1
+            for ci in range(n_chunks)
+            if results[ci] and results[ci][0] is ABANDONED
+        )
+        if abandoned_here:
+            self.supervision_report.salvaged_chunks += n_chunks - abandoned_here
 
     def map_ordered(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every item; results in input order.
 
         Exceptions raised by ``fn`` propagate to the caller (the first
-        one in chunk order), matching the serial loop's behaviour.
+        one in chunk order), matching the serial loop's behaviour.  Under
+        supervision, items of chunks that exhausted their restart budget
+        come back as :data:`ABANDONED` (with ``salvage=True``).
         """
         items = list(items)
         n = len(items)
         if n == 0:
             return []
         if self.max_workers <= 1 or n == 1:
+            if self.supervision is not None:
+                return self._map_supervised_serial(fn, items, self._chunks(n))
             self.last_backend = "serial"
             return [self._call(fn, item) for item in items]
 
         chunks = self._chunks(n)
-        if self._processes_usable(fn, items):
+        use_processes = self._processes_usable(fn, items)
+        if self.supervision is not None:
+            return self._map_supervised_pooled(fn, items, chunks, use_processes)
+        if use_processes:
             payloads = [(fn, [items[i] for i in chunk]) for chunk in chunks]
             self.last_backend = "process"
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
@@ -185,15 +543,23 @@ class FleetExecutor:
     def _processes_usable(self, fn: Callable[[T], R], items: Sequence[T]) -> bool:
         """Whether this map can actually run on the process pool.
 
-        Chaos hooks disqualify it outright — the injector's deterministic
-        RNG streams and the retry policy's counters are in-process state
-        that must observe every task.  Otherwise a one-item pickle probe
+        A retry policy disqualifies it outright — its counters are
+        in-process state that must observe every task.  An injector
+        disqualifies it only when its plan carries ``fleet.task`` specs
+        (per-task hooks can't cross the boundary); worker kill/hang and
+        storage faults are drawn parent-side, so plans limited to those
+        points keep the process pool.  Otherwise a one-item pickle probe
         decides: if ``fn`` and a work item round-trip, so will the rest.
         """
         if self.backend != "process":
             return False
-        if self.injector is not None or self.task_retry is not None:
+        if self.task_retry is not None:
             return False
+        if self.injector is not None:
+            plan = getattr(self.injector, "plan", None)
+            for_point = getattr(plan, "for_point", None)
+            if for_point is None or for_point(FLEET_TASK_POINT):
+                return False
         try:
             pickle.dumps((fn, items[0]))
         except Exception:
@@ -210,10 +576,15 @@ class FleetExecutor:
         The returned dict preserves the iteration order of ``pump_items``
         (Python dicts are insertion-ordered), so callers that iterate
         pumps in sorted order get a byte-stable report regardless of the
-        worker count.
+        worker count.  Pumps whose chunk was abandoned under supervision
+        salvage are absent from the dict.
         """
         entries = list(pump_items)
         results = self.map_ordered(
             _StarApply(fn), [tuple(entry[1:]) for entry in entries]
         )
-        return {entry[0]: result for entry, result in zip(entries, results)}
+        return {
+            entry[0]: result
+            for entry, result in zip(entries, results)
+            if result is not ABANDONED
+        }

@@ -87,6 +87,23 @@ class RuntimeProfile:
         with self._lock:
             self.counters[name] = self.counters.get(name, 0) + n
 
+    def add_supervision(self, delta: dict[str, int]) -> None:
+        """Fold a fleet supervision tally into the counters.
+
+        ``delta`` is a :meth:`SupervisionReport.as_dict`-shaped mapping
+        (typically the difference over one run); each field lands as a
+        ``supervision_*`` counter so the profile report and JSON export
+        surface restart/salvage activity alongside cache statistics.
+        """
+        for key in (
+            "restarts",
+            "worker_deaths",
+            "hung_chunks",
+            "salvaged_chunks",
+            "abandoned_chunks",
+        ):
+            self.count(f"supervision_{key}", int(delta.get(key, 0)))
+
     @property
     def total_seconds(self) -> float:
         return sum(s.seconds for s in self.stages.values())

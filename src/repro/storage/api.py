@@ -155,21 +155,24 @@ class DataRetrievalAPI:
         implements the "eliminating invalid measurements to prevent
         unwanted computations" step of the preprocessing layer.
         """
-        pumps, mids, service, samples, _ = self.measurement_matrices_with_health(
+        pumps, mids, service, samples, _, _ = self.measurement_matrices_with_health(
             pump_ids
         )
         return pumps, mids, service, samples
 
     def measurement_matrices_with_health(
         self, pump_ids: list[int] | None = None
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, dict[int, int]]:
+    ) -> tuple[
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray, dict[int, int], dict[int, int]
+    ]:
         """:meth:`measurement_matrices` plus per-pump drop accounting.
 
         Returns:
             ``(pump_ids, measurement_ids, service_days, samples,
-            dropped_incomplete)`` where the last element maps pump id →
-            number of measurements discarded for not matching the
-            majority block length ``K``.
+            dropped_incomplete, corrupt)`` where ``dropped_incomplete``
+            maps pump id → measurements discarded for not matching the
+            majority block length ``K`` and ``corrupt`` maps pump id →
+            rows quarantined for a stored-BLOB checksum mismatch.
         """
         if self._injector is None and self._retry is None:
             # Fast path: no chaos hooks to honour, so the store can decode
@@ -179,9 +182,19 @@ class DataRetrievalAPI:
                 self.period.start_day, self.period.end_day, pump_ids
             )
         records = self.get_measurements(pump_ids)
+        # The store quarantined checksum failures during the query; its
+        # per-pump tally is the record path's corruption accounting.
+        corrupt = dict(self._db.measurements.last_corrupt)
         if not records:
             empty = np.empty(0)
-            return empty.astype(int), empty.astype(int), empty, np.empty((0, 0, 3)), {}
+            return (
+                empty.astype(int),
+                empty.astype(int),
+                empty,
+                np.empty((0, 0, 3)),
+                {},
+                corrupt,
+            )
         lengths = np.asarray([r.num_samples for r in records])
         counts = np.bincount(lengths)
         k = int(counts.argmax())
@@ -194,4 +207,4 @@ class DataRetrievalAPI:
         mids = np.asarray([r.measurement_id for r in kept], dtype=int)
         service = np.asarray([r.service_day for r in kept], dtype=np.float64)
         samples = np.stack([r.samples for r in kept])
-        return pumps, mids, service, samples, dropped_incomplete
+        return pumps, mids, service, samples, dropped_incomplete, corrupt

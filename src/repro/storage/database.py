@@ -7,11 +7,22 @@ default, file-backed when a path is given — with acceleration blocks stored
 as raw little-endian float32 BLOBs for compactness (the sensors themselves
 emit 2-byte counts; float32 keeps full post-conversion precision at half
 the float64 footprint).
+
+Durability: every measurement BLOB carries a CRC32 checksum written at
+insert time and verified on decode.  A row whose bytes no longer match —
+at-rest bit rot, a torn page, a misbehaving filesystem — is *quarantined*
+to the ``dead_letters`` table instead of poisoning downstream PSD/RUL
+results or failing the run; legacy rows (``checksum IS NULL``, migrated
+in place via ``ALTER TABLE``) skip verification.  File-backed databases
+additionally run ``PRAGMA quick_check`` on open and raise
+:class:`DatabaseCorruptionError` (recovery runbook: ``docs/RELIABILITY.md``)
+when SQLite's own structures are damaged.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import zlib
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -41,6 +52,7 @@ CREATE TABLE IF NOT EXISTS measurements (
     sampling_rate_hz REAL NOT NULL,
     num_samples INTEGER NOT NULL,
     samples BLOB NOT NULL,
+    checksum INTEGER,
     PRIMARY KEY (pump_id, measurement_id)
 );
 CREATE INDEX IF NOT EXISTS idx_measurements_time ON measurements (timestamp_day);
@@ -78,6 +90,16 @@ CREATE INDEX IF NOT EXISTS idx_dead_letters_pump ON dead_letters (pump_id);
 """
 
 
+class DatabaseCorruptionError(RuntimeError):
+    """SQLite's own structures failed ``PRAGMA quick_check`` on open.
+
+    This is file-level damage (not a single bad BLOB, which the checksum
+    layer quarantines row by row).  Recovery path — see
+    ``docs/RELIABILITY.md``: restore from backup, or salvage readable
+    rows with ``sqlite3 <db> ".recover"`` into a fresh database.
+    """
+
+
 class VibrationDatabase:
     """Owner of the SQLite connection and the typed store facades.
 
@@ -85,7 +107,10 @@ class VibrationDatabase:
     (readers never block the gateway's writes), ``synchronous=NORMAL``
     (safe under WAL), memory-mapped I/O for the BLOB-heavy measurement
     table, and in-memory temp stores.  In-memory databases skip them —
-    WAL and mmap are meaningless without a file.
+    WAL and mmap are meaningless without a file.  File-backed opens also
+    run an integrity probe (``PRAGMA quick_check``) so structural
+    corruption surfaces as :class:`DatabaseCorruptionError` at open time
+    rather than as a random operational failure mid-run.
     """
 
     #: Bytes of the database file to memory-map (pragma ``mmap_size``).
@@ -96,17 +121,52 @@ class VibrationDatabase:
         self.in_memory = path == ":memory:" or "mode=memory" in path
         self._conn = sqlite3.connect(path)
         if not self.in_memory:
+            self._quick_check()
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.execute(f"PRAGMA mmap_size={self.MMAP_BYTES}")
             self._conn.execute("PRAGMA temp_store=MEMORY")
         self._conn.executescript(_SCHEMA)
+        self._migrate()
         self.measurements = MeasurementStore(self._conn)
         self.labels = LabelStore(self._conn)
         self.events = EventStore(self._conn)
         self.temperature = TemperatureStore(self._conn)
         self.sensors = SensorStore(self._conn)
         self.dead_letters = DeadLetterStore(self._conn)
+
+    def _quick_check(self) -> None:
+        """Fail fast on structural file damage (file-backed only)."""
+        try:
+            rows = self._conn.execute("PRAGMA quick_check").fetchall()
+        except sqlite3.DatabaseError as exc:
+            self._conn.close()
+            raise DatabaseCorruptionError(
+                f"{self.path}: database file is corrupt ({exc}); "
+                "see docs/RELIABILITY.md for the recovery runbook"
+            ) from exc
+        findings = [str(row[0]) for row in rows if row and row[0] != "ok"]
+        if findings:
+            self._conn.close()
+            raise DatabaseCorruptionError(
+                f"{self.path}: PRAGMA quick_check reported "
+                f"{'; '.join(findings[:3])}; see docs/RELIABILITY.md "
+                "for the recovery runbook"
+            )
+
+    def _migrate(self) -> None:
+        """In-place schema upgrades for databases created before PR 4.
+
+        Adds the nullable ``checksum`` column to ``measurements`` when
+        missing; legacy rows keep ``NULL`` (verification skipped) until
+        rewritten by an ``INSERT OR REPLACE``.
+        """
+        columns = {
+            row[1] for row in self._conn.execute("PRAGMA table_info(measurements)")
+        }
+        if "checksum" not in columns:
+            self._conn.execute("ALTER TABLE measurements ADD COLUMN checksum INTEGER")
+            self._conn.commit()
 
     def close(self) -> None:
         self._conn.close()
@@ -146,14 +206,64 @@ class SensorStore:
 
 
 class MeasurementStore:
-    """Vibration measurement table with BLOB-encoded sample blocks."""
+    """Vibration measurement table with BLOB-encoded sample blocks.
+
+    Every read path verifies the per-BLOB CRC32 checksum; rows whose
+    bytes no longer match are skipped and quarantined to the
+    ``dead_letters`` table (stage ``"storage"``, reason
+    ``"blob-checksum-mismatch"``).  Quarantine inserts are deduplicated,
+    so retried reads of the same damaged row record it exactly once.
+    The most recent read's per-pump corruption counts are exposed as
+    :attr:`last_corrupt` for the health report.
+    """
+
+    QUARANTINE_STAGE = "storage"
+    QUARANTINE_REASON = "blob-checksum-mismatch"
 
     def __init__(self, conn: sqlite3.Connection):
         self._conn = conn
+        #: pump id → rows quarantined by the most recent query.
+        self.last_corrupt: dict[int, int] = {}
 
     @staticmethod
     def _encode(samples: np.ndarray) -> bytes:
         return np.ascontiguousarray(samples, dtype="<f4").tobytes()
+
+    @staticmethod
+    def _checksum(blob: bytes) -> int:
+        return zlib.crc32(blob)
+
+    def _verify(self, pump_id: int, mid: int, blob: bytes, checksum) -> bool:
+        """True when the BLOB is trustworthy; quarantines it otherwise.
+
+        ``checksum IS NULL`` marks a legacy row written before the
+        durability layer — nothing to verify against, so it passes.
+        """
+        if checksum is None or self._checksum(blob) == checksum:
+            return True
+        self.last_corrupt[pump_id] = self.last_corrupt.get(pump_id, 0) + 1
+        with self._conn:
+            # NOT EXISTS dedupe: transient-read retries re-query the same
+            # rows; the quarantine record must not multiply.
+            self._conn.execute(
+                "INSERT INTO dead_letters"
+                " SELECT ?, ?, ?, ?, ?, NULL"
+                " WHERE NOT EXISTS (SELECT 1 FROM dead_letters"
+                "  WHERE stage = ? AND pump_id = ? AND measurement_id = ?"
+                "  AND reason = ?)",
+                (
+                    self.QUARANTINE_STAGE,
+                    pump_id,
+                    mid,
+                    self.QUARANTINE_REASON,
+                    f"stored CRC32 does not match {len(blob)}-byte BLOB",
+                    self.QUARANTINE_STAGE,
+                    pump_id,
+                    mid,
+                    self.QUARANTINE_REASON,
+                ),
+            )
+        return False
 
     @staticmethod
     def _decode(blob: bytes, num_samples: int) -> np.ndarray:
@@ -167,23 +277,27 @@ class MeasurementStore:
         self.add_many([measurement])
 
     def add_many(self, measurements: Iterable[Measurement]) -> None:
-        rows = [
-            (
-                m.pump_id,
-                m.measurement_id,
-                m.timestamp_day,
-                m.service_day,
-                m.sampling_rate_hz,
-                m.num_samples,
-                self._encode(m.samples),
+        rows = []
+        for m in measurements:
+            blob = self._encode(m.samples)
+            rows.append(
+                (
+                    m.pump_id,
+                    m.measurement_id,
+                    m.timestamp_day,
+                    m.service_day,
+                    m.sampling_rate_hz,
+                    m.num_samples,
+                    blob,
+                    self._checksum(blob),
+                )
             )
-            for m in measurements
-        ]
         # One transaction for the whole batch: a single fsync instead of
         # one per implicit autocommit, and all-or-nothing semantics.
         with self._conn:
             self._conn.executemany(
-                "INSERT OR REPLACE INTO measurements VALUES (?, ?, ?, ?, ?, ?, ?)", rows
+                "INSERT OR REPLACE INTO measurements VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
             )
 
     def query(
@@ -195,7 +309,7 @@ class MeasurementStore:
         """Measurements with ``start_day <= timestamp_day < end_day``."""
         sql = (
             "SELECT pump_id, measurement_id, timestamp_day, service_day,"
-            " sampling_rate_hz, num_samples, samples FROM measurements"
+            " sampling_rate_hz, num_samples, samples, checksum FROM measurements"
             " WHERE timestamp_day >= ? AND timestamp_day < ?"
         )
         params: list[object] = [float(start_day), float(end_day)]
@@ -204,8 +318,12 @@ class MeasurementStore:
             sql += f" AND pump_id IN ({placeholders})"
             params.extend(int(p) for p in pump_ids)
         sql += " ORDER BY timestamp_day, pump_id, measurement_id"
+        rows = self._conn.execute(sql, params).fetchall()
+        self.last_corrupt = {}
         out = []
-        for pump_id, mid, ts, service, fs, k, blob in self._conn.execute(sql, params):
+        for pump_id, mid, ts, service, fs, k, blob, checksum in rows:
+            if not self._verify(pump_id, mid, blob, checksum):
+                continue
             out.append(
                 Measurement(
                     pump_id=pump_id,
@@ -223,25 +341,30 @@ class MeasurementStore:
         start_day: float = -np.inf,
         end_day: float = np.inf,
         pump_ids: Sequence[int] | None = None,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, dict[int, int]]:
+    ) -> tuple[
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray, dict[int, int], dict[int, int]
+    ]:
         """Bulk fetch straight into dense arrays, skipping per-row records.
 
-        Same selection, ordering and majority-``K`` filtering as
-        :meth:`query` followed by record stacking — and bit-identical
-        output — but each BLOB is decoded with ``np.frombuffer`` directly
-        into one preallocated contiguous ``(N, K, 3)`` float64 matrix:
-        no per-row :class:`Measurement` objects, no per-row array
-        allocations, one exact float32→float64 upcast on assignment.
+        Same selection, ordering, checksum verification and
+        majority-``K`` filtering as :meth:`query` followed by record
+        stacking — and bit-identical output — but each BLOB is decoded
+        with ``np.frombuffer`` directly into one preallocated contiguous
+        ``(N, K, 3)`` float64 matrix: no per-row :class:`Measurement`
+        objects, no per-row array allocations, one exact
+        float32→float64 upcast on assignment.
 
         Returns:
             ``(pump_ids, measurement_ids, service_days, samples,
-            dropped_incomplete)`` where ``samples`` has shape
-            ``(N, K, 3)`` and ``dropped_incomplete`` maps pump id →
+            dropped_incomplete, corrupt)`` where ``samples`` has shape
+            ``(N, K, 3)``, ``dropped_incomplete`` maps pump id →
             measurements discarded for not matching the majority block
-            length.
+            length, and ``corrupt`` maps pump id → rows quarantined for
+            checksum mismatch.
         """
         sql = (
-            "SELECT pump_id, measurement_id, service_day, num_samples, samples"
+            "SELECT pump_id, measurement_id, service_day, num_samples, samples,"
+            " checksum"
             " FROM measurements WHERE timestamp_day >= ? AND timestamp_day < ?"
         )
         params: list[object] = [float(start_day), float(end_day)]
@@ -250,10 +373,24 @@ class MeasurementStore:
             sql += f" AND pump_id IN ({placeholders})"
             params.extend(int(p) for p in pump_ids)
         sql += " ORDER BY timestamp_day, pump_id, measurement_id"
-        rows = self._conn.execute(sql, params).fetchall()
+        fetched = self._conn.execute(sql, params).fetchall()
+        self.last_corrupt = {}
+        rows = [
+            row
+            for row in fetched
+            if self._verify(row[0], row[1], row[4], row[5])
+        ]
+        corrupt = dict(self.last_corrupt)
         if not rows:
             empty = np.empty(0)
-            return empty.astype(int), empty.astype(int), empty, np.empty((0, 0, 3)), {}
+            return (
+                empty.astype(int),
+                empty.astype(int),
+                empty,
+                np.empty((0, 0, 3)),
+                {},
+                corrupt,
+            )
 
         lengths = np.asarray([row[3] for row in rows])
         k = int(np.bincount(lengths).argmax())
@@ -265,7 +402,7 @@ class MeasurementStore:
         service = np.empty(n_keep)
         samples = np.empty((n_keep, k, 3))
         i = 0
-        for (pump_id, mid, service_day, num_samples, blob), kept in zip(rows, keep):
+        for (pump_id, mid, service_day, num_samples, blob, _), kept in zip(rows, keep):
             if not kept:
                 dropped_incomplete[pump_id] = dropped_incomplete.get(pump_id, 0) + 1
                 continue
@@ -274,11 +411,61 @@ class MeasurementStore:
             service[i] = service_day
             samples[i] = np.frombuffer(blob, dtype="<f4").reshape(k, 3)
             i += 1
-        return pumps, mids, service, samples, dropped_incomplete
+        return pumps, mids, service, samples, dropped_incomplete, corrupt
 
     def count(self) -> int:
         (n,) = self._conn.execute("SELECT COUNT(*) FROM measurements").fetchone()
         return int(n)
+
+    # ------------------------------------------------------------------
+    # Chaos hooks (at-rest corruption).
+    # ------------------------------------------------------------------
+    def corrupt_blob(
+        self, pump_id: int, measurement_id: int, byte_index: int = 0
+    ) -> None:
+        """Flip one byte of a stored BLOB *without* updating its checksum.
+
+        Test/chaos hook simulating at-rest bit rot; the next read of the
+        row fails verification and quarantines it.
+        """
+        row = self._conn.execute(
+            "SELECT samples FROM measurements WHERE pump_id = ?"
+            " AND measurement_id = ?",
+            (pump_id, measurement_id),
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no measurement ({pump_id}, {measurement_id})")
+        blob = bytearray(row[0])
+        blob[byte_index % len(blob)] ^= 0xFF
+        with self._conn:
+            self._conn.execute(
+                "UPDATE measurements SET samples = ? WHERE pump_id = ?"
+                " AND measurement_id = ?",
+                (bytes(blob), pump_id, measurement_id),
+            )
+
+    def fault_blobs(self, injector, point: str) -> list[tuple[int, int]]:
+        """Damage stored BLOBs per a chaos injector's ``corrupt`` faults.
+
+        Iterates rows in deterministic ``(pump_id, measurement_id)``
+        order, drawing one fire decision per row at ``point`` (duck-typed
+        :meth:`FaultInjector.corrupts` / :meth:`FaultInjector.corrupt_index`),
+        so the damaged set is a pure function of the plan seed.
+
+        Returns:
+            The ``(pump_id, measurement_id)`` pairs corrupted.
+        """
+        keys = self._conn.execute(
+            "SELECT pump_id, measurement_id, num_samples FROM measurements"
+            " ORDER BY pump_id, measurement_id"
+        ).fetchall()
+        damaged: list[tuple[int, int]] = []
+        for pump_id, mid, num_samples in keys:
+            if injector.corrupts(point):
+                index = injector.corrupt_index(point, num_samples * 3 * 4)
+                self.corrupt_blob(pump_id, mid, index)
+                damaged.append((pump_id, mid))
+        return damaged
 
 
 class LabelStore:

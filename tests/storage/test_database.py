@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.storage.database import VibrationDatabase
+from repro.storage.database import DatabaseCorruptionError, VibrationDatabase
 from repro.storage.records import (
     BM,
     PM,
@@ -109,8 +109,11 @@ class TestQueryArrays:
             for i in range(12)
         )
         records = db.measurements.query()
-        pumps, mids, service, samples, dropped = db.measurements.query_arrays()
+        pumps, mids, service, samples, dropped, corrupt = (
+            db.measurements.query_arrays()
+        )
         assert dropped == {}
+        assert corrupt == {}
         assert list(pumps) == [m.pump_id for m in records]
         assert list(mids) == [m.measurement_id for m in records]
         assert list(service) == [m.service_day for m in records]
@@ -123,7 +126,7 @@ class TestQueryArrays:
             make_measurement(pump=i % 2, mid=i, day=float(i)) for i in range(8)
         )
         records = db.measurements.query(start_day=2.0, end_day=6.0, pump_ids=[1])
-        pumps, mids, _, samples, _ = db.measurements.query_arrays(
+        pumps, mids, _, samples, _, _ = db.measurements.query_arrays(
             start_day=2.0, end_day=6.0, pump_ids=[1]
         )
         assert list(mids) == [m.measurement_id for m in records]
@@ -135,14 +138,17 @@ class TestQueryArrays:
             make_measurement(pump=0, mid=i, day=float(i), k=16) for i in range(4)
         )
         db.measurements.add(make_measurement(pump=1, mid=99, day=9.0, k=8))
-        pumps, mids, _, samples, dropped = db.measurements.query_arrays()
+        pumps, mids, _, samples, dropped, _ = db.measurements.query_arrays()
         assert samples.shape == (4, 16, 3)
         assert 99 not in mids
         assert dropped == {1: 1}
 
     def test_empty_result(self, db):
-        pumps, mids, service, samples, dropped = db.measurements.query_arrays()
+        pumps, mids, service, samples, dropped, corrupt = (
+            db.measurements.query_arrays()
+        )
         assert pumps.size == 0 and samples.shape == (0, 0, 3) and dropped == {}
+        assert corrupt == {}
 
 
 class TestConnectionPragmas:
@@ -230,6 +236,97 @@ class TestSensorStore:
 class TestFileBacked:
     def test_persistence_across_connections(self, tmp_path):
         path = str(tmp_path / "vibration.db")
+        with VibrationDatabase(path) as db:
+            db.measurements.add(make_measurement())
+        with VibrationDatabase(path) as db:
+            assert db.measurements.count() == 1
+
+
+class _AlwaysCorrupt:
+    """Minimal duck-typed injector: damages every row at byte 0."""
+
+    def corrupts(self, point):
+        return True
+
+    def corrupt_index(self, point, n):
+        return 0
+
+
+class TestBlobIntegrity:
+    def test_corrupt_blob_is_quarantined_on_query(self, db):
+        db.measurements.add_many(
+            make_measurement(pump=p, mid=p, seed=p) for p in range(3)
+        )
+        db.measurements.corrupt_blob(1, 1)
+        records = db.measurements.query()
+        assert [m.pump_id for m in records] == [0, 2]
+        assert db.measurements.last_corrupt == {1: 1}
+        [letter] = db.dead_letters.query(stage="storage")
+        assert letter.pump_id == 1
+        assert letter.measurement_id == 1
+        assert letter.reason == db.measurements.QUARANTINE_REASON
+
+    def test_query_arrays_filters_corrupt_and_stays_bit_identical(self, db):
+        db.measurements.add_many(
+            make_measurement(pump=p, mid=p, day=float(p), seed=p) for p in range(4)
+        )
+        db.measurements.corrupt_blob(2, 2, byte_index=7)
+        pumps, mids, _, samples, dropped, corrupt = db.measurements.query_arrays()
+        assert list(pumps) == [0, 1, 3]
+        assert corrupt == {2: 1}
+        assert dropped == {}
+        # Survivors decode exactly as the record path decodes them.
+        records = db.measurements.query()
+        stacked = np.stack([m.samples for m in records]).astype(np.float64)
+        assert np.array_equal(samples, stacked)
+
+    def test_quarantine_insert_is_deduplicated_across_reads(self, db):
+        db.measurements.add(make_measurement(seed=6))
+        db.measurements.corrupt_blob(0, 0)
+        db.measurements.query()
+        db.measurements.query()
+        db.measurements.query_arrays()
+        assert len(db.dead_letters.query(stage="storage")) == 1
+
+    def test_legacy_rows_without_checksum_still_decode(self, db):
+        db.measurements.add(make_measurement(seed=7))
+        db._conn.execute("UPDATE measurements SET checksum = NULL")
+        [restored] = db.measurements.query()
+        assert db.measurements.last_corrupt == {}
+        assert restored.samples.shape == (16, 3)
+
+    def test_checksum_column_is_migrated_on_legacy_files(self, tmp_path):
+        path = str(tmp_path / "legacy.db")
+        with VibrationDatabase(path) as db:
+            db._conn.execute("ALTER TABLE measurements DROP COLUMN checksum")
+        with VibrationDatabase(path) as db:
+            columns = {
+                row[1]
+                for row in db._conn.execute("PRAGMA table_info(measurements)")
+            }
+            assert "checksum" in columns
+            db.measurements.add(make_measurement(seed=8))
+            assert len(db.measurements.query()) == 1
+
+    def test_fault_blobs_damages_only_drawn_rows(self, db):
+        db.measurements.add_many(
+            make_measurement(pump=p, mid=p, seed=p) for p in range(3)
+        )
+        damaged = db.measurements.fault_blobs(_AlwaysCorrupt(), "storage.blob_corrupt")
+        assert damaged == [(0, 0), (1, 1), (2, 2)]
+        assert db.measurements.query() == []
+        assert db.measurements.last_corrupt == {0: 1, 1: 1, 2: 1}
+
+
+class TestQuickCheck:
+    def test_opening_a_damaged_file_raises_corruption_error(self, tmp_path):
+        path = tmp_path / "broken.db"
+        path.write_bytes(b"this is not a sqlite database, honest\x00" * 64)
+        with pytest.raises(DatabaseCorruptionError, match="RELIABILITY"):
+            VibrationDatabase(str(path))
+
+    def test_healthy_file_passes_quick_check(self, tmp_path):
+        path = str(tmp_path / "healthy.db")
         with VibrationDatabase(path) as db:
             db.measurements.add(make_measurement())
         with VibrationDatabase(path) as db:
