@@ -11,6 +11,7 @@ verifies the recovered slopes against the simulation's ground truth.
 import numpy as np
 
 from common import ARTIFACTS_DIR, rul_fleet_analysis
+from repro.core.ransac import RecursiveRANSAC
 from repro.simulation.degradation import WEAR_AT_FAILURE
 from repro.viz.ascii import ascii_line_plot
 from repro.viz.export import write_csv
@@ -64,6 +65,21 @@ def test_fig15_lifetime_models(benchmark):
             for i in np.nonzero(valid)[0]
         ],
     )
+
+    # The pipeline's models come from the batched RANSAC engine; the
+    # scalar reference engine on the same pooled scatter must reproduce
+    # them bit for bit (same RNG-stream contract, same tie-breaks).
+    reference_engine = RecursiveRANSAC(
+        residual_threshold=0.05,
+        min_inliers=max(150, len(dataset.measurements) // 20),
+        seed=0,
+        engine="reference",
+    )
+    replayed = reference_engine.fit(service[valid], result.da[valid])
+    assert len(replayed) == len(models)
+    for a, b in zip(models, replayed):
+        assert a.slope == b.slope and a.intercept == b.intercept
+        assert np.array_equal(a.inlier_indices, b.inlier_indices)
 
     # The paper finds exactly two models; a third duplicate population is
     # tolerated but the dominant two must be distinct.

@@ -16,7 +16,12 @@ from repro.analysis.scheduling import (
 )
 from repro.analysis.online import OnlinePumpTracker, TrackerUpdate
 from repro.analysis.drift import DriftMonitor, DriftVerdict, population_stability_index
-from repro.analysis.backtest import BacktestPoint, BacktestResult, backtest_rul
+from repro.analysis.backtest import (
+    BacktestPoint,
+    BacktestResult,
+    backtest_rul,
+    backtest_rul_reference,
+)
 
 __all__ = [
     "confusion_matrix",
@@ -41,6 +46,7 @@ __all__ = [
     "DriftVerdict",
     "population_stability_index",
     "backtest_rul",
+    "backtest_rul_reference",
     "BacktestResult",
     "BacktestPoint",
 ]

@@ -125,11 +125,13 @@ class OnlinePumpTracker:
             return 0.0
         if self.n_measurements < 3:
             return np.inf
-        trajectory = self._forecaster.forecast(self.forecast_horizon)
-        over = np.nonzero(trajectory >= hazard)[0]
-        if over.size == 0:
+        # O(log horizon) bisection over the monotone damped-trend
+        # trajectory — the per-measurement cost no longer scales with
+        # forecast_horizon (5000 steps by default).
+        step = self._forecaster.crossing_step(hazard, self.forecast_horizon)
+        if step is None:
             return np.inf
-        return float(over[0] + 1) * self.interval_days
+        return float(step) * self.interval_days
 
     def consume(self, psd: np.ndarray, frequencies: np.ndarray) -> TrackerUpdate:
         """Process one measurement's PSD; returns the new state."""

@@ -36,8 +36,10 @@ from repro.core.classify import (
 )
 from repro.core.ransac import (
     LineModel,
+    RANSACLineFitter,
     RANSACRegressor,
     RecursiveRANSAC,
+    draw_trial_pairs,
     fit_line_least_squares,
 )
 from repro.core.rul import RULEstimator, RULPrediction, learn_zone_d_threshold
@@ -86,6 +88,7 @@ __all__ = [
     "ZoneClassifier",
     "LineModel",
     "fit_line_least_squares",
+    "RANSACLineFitter",
     "RANSACRegressor",
     "RecursiveRANSAC",
     "learn_zone_d_threshold",
@@ -100,6 +103,7 @@ __all__ = [
     "ARForecaster",
     "CrossingForecast",
     "crossing_forecast",
+    "draw_trial_pairs",
     "Diagnosis",
     "SpectralDiagnoser",
     "Changepoint",

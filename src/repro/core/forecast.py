@@ -109,6 +109,48 @@ class HoltLinearForecaster:
             trend_sum = phi * (1 - phi**steps) / (1 - phi)
         return self.level_ + trend_sum * self.trend_
 
+    def _forecast_at(self, step: int) -> float:
+        """The ``step``-ahead forecast, via the exact elementwise
+        expression of :meth:`forecast` on a one-element slice — so the
+        value is bit-identical to ``forecast(horizon)[step - 1]``."""
+        phi = self.damping
+        steps = np.arange(step, step + 1)
+        if phi == 1.0:
+            trend_sum = steps.astype(np.float64)
+        else:
+            trend_sum = phi * (1 - phi**steps) / (1 - phi)
+        return float((self.level_ + trend_sum * self.trend_)[0])
+
+    def crossing_step(self, threshold: float, horizon: int) -> int | None:
+        """First future step whose forecast reaches ``threshold``.
+
+        Equivalent to ``np.nonzero(forecast(horizon) >= threshold)[0][0]
+        + 1`` but O(log horizon) instead of O(horizon): the damped-trend
+        trajectory ``level + trend_sum(h) * trend`` is monotone in ``h``
+        (``trend_sum`` is nondecreasing), so a positive-trend crossing
+        can be bisected and a non-positive trend can only cross at step 1.
+        Returns None when the horizon is never crossed.
+        """
+        if self.level_ is None or self.trend_ is None:
+            raise RuntimeError("forecaster is not fitted")
+        if horizon < 1:
+            raise ValueError("horizon must be positive")
+        if self._forecast_at(1) >= threshold:
+            return 1
+        if self.trend_ <= 0:
+            # Nonincreasing trajectory: step 1 is the maximum.
+            return None
+        if self._forecast_at(horizon) < threshold:
+            return None
+        lo, hi = 1, horizon  # invariant: f(lo) < threshold <= f(hi)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._forecast_at(mid) >= threshold:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
 
 class ARForecaster:
     """Autoregressive forecaster on first differences.

@@ -11,6 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
+#: float64 elements per tiled (points × samples) block in :meth:`pdf`
+#: (~2 MiB): peak memory stays bounded no matter how many evaluation
+#: points a fleet-scale caller passes, while each tile still amortizes
+#: numpy dispatch.  Rows (evaluation points) are never split, so each
+#: row's kernel sum keeps the exact reduction order of the untiled code
+#: and densities are bit-identical.
+KDE_TILE_ELEMENTS = 1 << 18
+
 
 class GaussianKDE1D:
     """Gaussian kernel density estimator over scalar samples.
@@ -50,14 +58,32 @@ class GaussianKDE1D:
         return 0.9 * spread * n ** (-0.2)
 
     def pdf(self, points: np.ndarray | float) -> np.ndarray:
-        """Density evaluated at ``points`` (scalar or array)."""
+        """Density evaluated at ``points`` (scalar or array).
+
+        The (points × samples) kernel matrix is walked in row tiles of at
+        most :data:`KDE_TILE_ELEMENTS` elements through one scratch
+        buffer, so evaluating a dense grid against a large fleet sample
+        never materializes the full outer product.
+        """
         x = np.atleast_1d(np.asarray(points, dtype=np.float64))
-        z = (x[:, None] - self.samples_[None, :]) / self.bandwidth_
-        # Beyond ~39 sigma the kernel underflows to exactly 0; clipping
-        # avoids a spurious overflow warning in the squaring.
-        z = np.clip(z, -40.0, 40.0)
-        dens = np.exp(-0.5 * z**2).sum(axis=1)
-        dens /= self.samples_.size * self.bandwidth_ * np.sqrt(2.0 * np.pi)
+        samples = self.samples_
+        n = samples.size
+        dens = np.empty(x.size)
+        rows = max(1, KDE_TILE_ELEMENTS // max(1, n))
+        buf = np.empty((min(rows, max(1, x.size)), n))
+        for lo in range(0, x.size, rows):
+            block = x[lo : lo + rows]
+            b = buf[: block.size]
+            np.subtract(block[:, None], samples[None, :], out=b)
+            b /= self.bandwidth_
+            # Beyond ~39 sigma the kernel underflows to exactly 0;
+            # clipping avoids a spurious overflow warning in the squaring.
+            np.clip(b, -40.0, 40.0, out=b)
+            np.multiply(b, b, out=b)
+            b *= -0.5
+            np.exp(b, out=b)
+            dens[lo : lo + block.size] = b.sum(axis=1)
+        dens /= n * self.bandwidth_ * np.sqrt(2.0 * np.pi)
         return dens
 
     def __call__(self, points: np.ndarray | float) -> np.ndarray:
@@ -72,11 +98,15 @@ def min_error_threshold(
     """Scalar threshold separating two classes with minimum empirical error.
 
     ``lower_class`` samples are expected (mostly) below the threshold and
-    ``upper_class`` samples above it.  Candidate thresholds are scanned on
-    a uniform grid spanning both sample sets plus all sample midpoints'
-    range; the threshold minimizing the total count of misclassified
-    samples is returned, with ties broken toward the midpoint of the
-    optimal plateau for stability.
+    ``upper_class`` samples above it.  The empirical error
+    ``errors(t) = #lower >= t + #upper < t`` is a step function that only
+    changes at sample values, so scanning every distinct sample value
+    *and* every midpoint between consecutive distinct values covers every
+    level the function takes on ``[min, max]`` — the returned threshold
+    achieves the exact global minimum (a uniform grid, used previously,
+    could step over the true minimum between grid points).  Ties are
+    broken toward the midpoint of the widest contiguous optimal plateau
+    for stability (earliest plateau on equal widths).
 
     This is the paper's boundary-learning rule ("chosen to minimize the
     error of wrongly classifying records in zone C and zone D").
@@ -84,12 +114,15 @@ def min_error_threshold(
     Args:
         lower_class: samples of the class below the boundary.
         upper_class: samples of the class above the boundary.
-        num_candidates: grid resolution for the scan.
+        num_candidates: ignored; kept for backward compatibility.  The
+            scan is exact over sample midpoints and needs no resolution
+            knob.
 
     Returns:
         The learned threshold; classify ``value >= threshold`` as the
         upper class.
     """
+    del num_candidates
     lo_samples = np.asarray(lower_class, dtype=np.float64).ravel()
     hi_samples = np.asarray(upper_class, dtype=np.float64).ravel()
     if lo_samples.size == 0 or hi_samples.size == 0:
@@ -98,13 +131,34 @@ def min_error_threshold(
     lo, hi = float(all_vals.min()), float(all_vals.max())
     if lo == hi:
         return lo
-    candidates = np.linspace(lo, hi, num_candidates)
+
+    # Candidates: distinct sample values interleaved with the midpoints
+    # of consecutive distinct values.  Between two adjacent candidates
+    # errors(t) is constant, so this sequence observes every value the
+    # step function takes on [lo, hi].
+    uniq = np.unique(all_vals)
+    mids = (uniq[:-1] + uniq[1:]) / 2.0
+    candidates = np.empty(uniq.size + mids.size)
+    candidates[0::2] = uniq
+    candidates[1::2] = mids
+
     # errors(t) = #lower >= t  +  #upper < t
     lower_sorted = np.sort(lo_samples)
     upper_sorted = np.sort(hi_samples)
     lower_wrong = lo_samples.size - np.searchsorted(lower_sorted, candidates, side="left")
     upper_wrong = np.searchsorted(upper_sorted, candidates, side="left")
     errors = lower_wrong + upper_wrong
-    best = errors.min()
-    optimal = candidates[errors == best]
-    return float(optimal.mean())
+
+    optimal = np.nonzero(errors == errors.min())[0]
+    # The widest run of consecutive optimal candidates is the most stable
+    # plateau; return its midpoint.  Any point inside an optimal run is
+    # itself optimal (the run covers the whole interval between its
+    # endpoint candidates).
+    breaks = np.nonzero(np.diff(optimal) > 1)[0]
+    starts = np.concatenate([[0], breaks + 1])
+    ends = np.concatenate([breaks, [optimal.size - 1]])
+    widths = candidates[optimal[ends]] - candidates[optimal[starts]]
+    k = int(np.argmax(widths))
+    return float(
+        (candidates[optimal[starts[k]]] + candidates[optimal[ends[k]]]) / 2.0
+    )

@@ -233,16 +233,18 @@ class AnalysisPipeline:
                     )
         return da
 
-    def _fit_rul(
+    def _learn_threshold(self, train_da: np.ndarray, labels: np.ndarray) -> float:
+        """Hazard (Zone D) boundary learned from the training labels."""
+        return learn_zone_d_threshold(train_da, labels)
+
+    def _fit_lifetime_models(
         self,
-        train_da: np.ndarray,
-        labels: np.ndarray,
+        zone_d_threshold: float,
         days: np.ndarray,
         da: np.ndarray,
         valid: np.ndarray,
-    ) -> tuple[float, RULEstimator]:
-        """Hazard threshold from training labels, lifetime models from fleet."""
-        zone_d_threshold = learn_zone_d_threshold(train_da, labels)
+    ) -> RULEstimator:
+        """Recursive-RANSAC lifetime models fitted on the pooled fleet."""
         estimator = RULEstimator(
             zone_d_threshold,
             RecursiveRANSAC(
@@ -254,7 +256,7 @@ class AnalysisPipeline:
         valid_idx = np.nonzero(valid)[0]
         estimator.fit(days[valid_idx], da[valid_idx])
         self.estimator_ = estimator
-        return zone_d_threshold, estimator
+        return estimator
 
     def _predict_rul(
         self,
@@ -355,10 +357,13 @@ class AnalysisPipeline:
             zones = np.full(n, "", dtype=object)
             zones[valid_idx] = classifier.classifier.predict(da[valid_idx])
 
-        with self._stage("fit_rul"):
-            zone_d_threshold, estimator = self._fit_rul(
-                da[train_idx], labels, days, da, valid
-            )
+        # The RUL model layer is two distinct costs worth separating in a
+        # profile: the exact KDE threshold scan over the labelled records
+        # and the batched recursive-RANSAC fit over the whole fleet.
+        with self._stage("learn_threshold", int(len(labels))):
+            zone_d_threshold = self._learn_threshold(da[train_idx], labels)
+        with self._stage("fit_lifetime_models", int(valid_idx.size)):
+            estimator = self._fit_lifetime_models(zone_d_threshold, days, da, valid)
         with self._stage("predict_rul", int(np.unique(ids).size)):
             rul = self._predict_rul(estimator, ids, days, da, valid)
 

@@ -11,13 +11,74 @@ handles both with Random Sample Consensus (Fischler & Bolles, 1981):
   monotonically increasing line (slope above a threshold) with sufficient
   support can be found, yielding one linear lifetime model per latent
   equipment population (the paper finds two: Model I and Model II).
+
+Execution model
+---------------
+:class:`RANSACLineFitter` evaluates all trials as one batched kernel:
+every minimal-sample pair is drawn up front (:func:`draw_trial_pairs`,
+the RNG-stream contract), slopes/intercepts/admissibility are computed
+as vectors, and the (trials × N) residual matrix is walked in tiled
+blocks through reused scratch buffers so the working set stays cache
+resident at fleet scale.  When the optional fused C kernel
+(:mod:`repro.core._native`) compiles on the host machine, consensus
+counting runs through it instead of the tiled numpy passes — same
+operation sequence, same bits, one memory traversal instead of six.
+:meth:`RANSACLineFitter.fit_reference` keeps
+the per-trial scalar loop over the *same* drawn pairs as the reference
+implementation of record: both paths consume the identical RNG stream
+and return bit-identical models (same slope/intercept floats, same
+inlier indices) — the property suite in ``tests/core/test_ransac.py``
+enforces this.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.core import _native
+
+#: float64 elements per tiled residual block (~2 MiB): the scratch row
+#: block stays inside L2 while each tile still amortizes numpy dispatch
+#: over hundreds of trials.
+RANSAC_TILE_ELEMENTS = 1 << 18
+
+
+def draw_trial_pairs(
+    rng: np.random.Generator, n_points: int, n_pairs: int
+) -> np.ndarray:
+    """Draw ``n_pairs`` distinct index pairs — the RNG-stream contract.
+
+    All of the model layer's randomness flows through this one function
+    so the batched and scalar-reference fitters consume *exactly* the
+    same stream.  The contract, in order:
+
+    1. ``first  = rng.integers(0, n_points, size=n_pairs)``
+    2. ``second = rng.integers(0, n_points - 1, size=n_pairs)``, then
+       shifted up by one wherever ``second >= first``.
+
+    Two bulk draws, no per-trial calls; the shift makes ``second``
+    uniform over the ``n_points - 1`` indices distinct from ``first``,
+    so each pair is a uniform ordered sample without replacement.
+
+    Args:
+        rng: generator to consume.
+        n_points: population size (must be at least 2).
+        n_pairs: number of pairs to draw.
+
+    Returns:
+        ``(n_pairs, 2)`` integer array of distinct index pairs.
+    """
+    if n_points < 2:
+        raise ValueError("need at least two points to draw sample pairs")
+    if n_pairs < 0:
+        raise ValueError("n_pairs must be non-negative")
+    first = rng.integers(0, n_points, size=n_pairs)
+    second = rng.integers(0, n_points - 1, size=n_pairs)
+    second = second + (second >= first)
+    return np.stack([first, second], axis=1)
 
 
 @dataclass(frozen=True)
@@ -78,13 +139,18 @@ def fit_line_least_squares(x: np.ndarray, z: np.ndarray) -> tuple[float, float]:
     return slope, intercept
 
 
-class RANSACRegressor:
-    """Robust line fitting by random sample consensus.
+class RANSACLineFitter:
+    """Robust line fitting by random sample consensus, batched.
 
-    Repeatedly fits a line through a random minimal sample (two points),
-    counts the points within ``residual_threshold`` of it, and keeps the
-    line with the largest consensus set, which is finally refined by least
-    squares over its inliers.
+    Fits a line through every random minimal sample (two points), counts
+    the points within ``residual_threshold`` of each candidate, and keeps
+    the line with the largest consensus set (earliest trial wins ties),
+    which is finally refined by least squares over its inliers.
+
+    :meth:`fit` runs all trials as one vectorized kernel; the tie-break,
+    slope admissibility and refinement replicate the per-trial scalar
+    loop exactly, which remains available as :meth:`fit_reference` (the
+    parity reference — same RNG stream, bit-identical model).
     """
 
     def __init__(
@@ -95,7 +161,7 @@ class RANSACRegressor:
         max_slope: float | None = None,
         seed: int | np.random.Generator | None = 0,
     ):
-        """Create a regressor.
+        """Create a fitter.
 
         Args:
             residual_threshold: inlier band half-width; when None it is
@@ -117,6 +183,10 @@ class RANSACRegressor:
         self.min_slope = min_slope
         self.max_slope = max_slope
         self._rng = np.random.default_rng(seed)
+        # Tiled-kernel scratch, reused across fits (recursive peeling and
+        # walk-forward backtests call fit() many times per engine).
+        self._resid_scratch: np.ndarray | None = None
+        self._mask_scratch: np.ndarray | None = None
 
     def _slope_ok(self, slope: float) -> bool:
         if self.min_slope is not None and slope < self.min_slope:
@@ -125,13 +195,10 @@ class RANSACRegressor:
             return False
         return True
 
-    def fit(self, x: np.ndarray, z: np.ndarray) -> LineModel | None:
-        """Fit the most supported line; None when no admissible line exists.
-
-        Args:
-            x: service times.
-            z: feature values, same length.
-        """
+    def _prepare(
+        self, x: np.ndarray, z: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, float] | None:
+        """Validate inputs and resolve the inlier band half-width."""
         xs = np.asarray(x, dtype=np.float64).ravel()
         zs = np.asarray(z, dtype=np.float64).ravel()
         if xs.size != zs.size:
@@ -143,31 +210,21 @@ class RANSACRegressor:
         if threshold is None:
             mad = float(np.median(np.abs(zs - np.median(zs))))
             threshold = mad if mad > 0 else max(1e-6, float(np.abs(zs).max()) * 1e-3)
+        return xs, zs, float(threshold)
 
-        best_mask: np.ndarray | None = None
-        best_count = 0
-        n = xs.size
-        for _ in range(self.max_trials):
-            i, j = self._rng.choice(n, size=2, replace=False)
-            dx = xs[j] - xs[i]
-            if dx == 0:
-                continue
-            slope = (zs[j] - zs[i]) / dx
-            if not self._slope_ok(slope):
-                continue
-            intercept = zs[i] - slope * xs[i]
-            residuals = np.abs(zs - (slope * xs + intercept))
-            mask = residuals <= threshold
-            count = int(mask.sum())
-            if count > best_count:
-                best_count = count
-                best_mask = mask
+    def _refine(
+        self,
+        xs: np.ndarray,
+        zs: np.ndarray,
+        best_mask: np.ndarray,
+        threshold: float,
+    ) -> LineModel | None:
+        """Least-squares refinement on the winning consensus set.
 
-        if best_mask is None or best_count < 2:
-            return None
-
-        # Refine on the consensus set, then re-evaluate inliers once: the
-        # refit line usually captures a slightly larger consensus set.
+        Shared verbatim by the batched and reference paths: refine on the
+        consensus set, then re-evaluate inliers once (the refit line
+        usually captures a slightly larger consensus set).
+        """
         slope, intercept = fit_line_least_squares(xs[best_mask], zs[best_mask])
         if not self._slope_ok(slope):
             # Keep the unrefined model when refinement violates the slope
@@ -187,6 +244,143 @@ class RANSACRegressor:
             residual_threshold=float(threshold),
         )
 
+    def _consensus_counts(
+        self,
+        xs: np.ndarray,
+        zs: np.ndarray,
+        slopes: np.ndarray,
+        intercepts: np.ndarray,
+        admissible: np.ndarray,
+        threshold: float,
+    ) -> np.ndarray:
+        """Inlier count per trial: fused C kernel, else numpy tiles.
+
+        Only admissible trials are evaluated.  Both kernels compute
+        ``|z - (slope * x + intercept)| <= threshold`` with the exact
+        elementwise operation sequence of the scalar loop, so the counts
+        — and therefore the winning trial — are bit-identical to it.
+        """
+        native = _native.consensus_counts(
+            xs, zs, slopes, intercepts, admissible, threshold
+        )
+        if native is not None:
+            return native
+        n = xs.size
+        counts = np.zeros(slopes.size, dtype=np.int64)
+        rows = max(1, RANSAC_TILE_ELEMENTS // max(1, n))
+        if (
+            self._resid_scratch is None
+            or self._resid_scratch.shape[0] < rows
+            or self._resid_scratch.shape[1] != n
+        ):
+            self._resid_scratch = np.empty((rows, n))
+            self._mask_scratch = np.empty((rows, n), dtype=bool)
+        trial_idx = np.nonzero(admissible)[0]
+        for lo in range(0, trial_idx.size, rows):
+            sel = trial_idx[lo : lo + rows]
+            buf = self._resid_scratch[: sel.size]
+            mask = self._mask_scratch[: sel.size]
+            np.multiply(slopes[sel, None], xs[None, :], out=buf)
+            buf += intercepts[sel, None]
+            np.subtract(zs[None, :], buf, out=buf)
+            np.abs(buf, out=buf)
+            np.less_equal(buf, threshold, out=mask)
+            counts[sel] = mask.sum(axis=1)
+        return counts
+
+    def fit(
+        self, x: np.ndarray, z: np.ndarray, pairs: np.ndarray | None = None
+    ) -> LineModel | None:
+        """Fit the most supported line; None when no admissible line exists.
+
+        Args:
+            x: service times.
+            z: feature values, same length.
+            pairs: optional pre-drawn ``(trials, 2)`` minimal-sample index
+                pairs (:func:`draw_trial_pairs`); drawn from the fitter's
+                own RNG when omitted.  :class:`RecursiveRANSAC` passes
+                surviving pairs between peeling iterations through this.
+        """
+        prepared = self._prepare(x, z)
+        if prepared is None:
+            return None
+        xs, zs, threshold = prepared
+        if pairs is None:
+            pairs = draw_trial_pairs(self._rng, xs.size, self.max_trials)
+
+        first = pairs[:, 0]
+        second = pairs[:, 1]
+        xi = xs[first]
+        zi = zs[first]
+        dx = xs[second] - xi
+        dz = zs[second] - zi
+        admissible = dx != 0.0
+        slopes = np.zeros(pairs.shape[0])
+        np.divide(dz, dx, out=slopes, where=admissible)
+        if self.min_slope is not None:
+            admissible &= slopes >= self.min_slope
+        if self.max_slope is not None:
+            admissible &= slopes <= self.max_slope
+        if not admissible.any():
+            return None
+        intercepts = zi - slopes * xi
+
+        counts = self._consensus_counts(
+            xs, zs, slopes, intercepts, admissible, threshold
+        )
+        # First-win tie-break: the scalar loop only replaces its champion
+        # on a strictly larger count, and argmax returns the earliest
+        # maximum.  Inadmissible trials hold count 0 and can never win
+        # (every admissible trial supports at least its own two points).
+        best = int(np.argmax(counts))
+        if counts[best] < 2:
+            return None
+        residuals = np.abs(zs - (slopes[best] * xs + intercepts[best]))
+        best_mask = residuals <= threshold
+        return self._refine(xs, zs, best_mask, threshold)
+
+    def fit_reference(
+        self, x: np.ndarray, z: np.ndarray, pairs: np.ndarray | None = None
+    ) -> LineModel | None:
+        """Scalar per-trial reference implementation of :meth:`fit`.
+
+        Consumes the same RNG stream (pairs come from
+        :func:`draw_trial_pairs` either way) and returns a bit-identical
+        model; kept as the parity baseline and for perf comparisons.
+        """
+        prepared = self._prepare(x, z)
+        if prepared is None:
+            return None
+        xs, zs, threshold = prepared
+        if pairs is None:
+            pairs = draw_trial_pairs(self._rng, xs.size, self.max_trials)
+
+        best_mask: np.ndarray | None = None
+        best_count = 0
+        for i, j in pairs:
+            dx = xs[j] - xs[i]
+            if dx == 0:
+                continue
+            slope = (zs[j] - zs[i]) / dx
+            if not self._slope_ok(slope):
+                continue
+            intercept = zs[i] - slope * xs[i]
+            residuals = np.abs(zs - (slope * xs + intercept))
+            mask = residuals <= threshold
+            count = int(mask.sum())
+            if count > best_count:
+                best_count = count
+                best_mask = mask
+
+        if best_mask is None or best_count < 2:
+            return None
+        return self._refine(xs, zs, best_mask, threshold)
+
+
+#: Backward-compatible name: the regressor has been a batched fitter
+#: since the model-layer vectorization; existing callers keep working.
+RANSACRegressor = RANSACLineFitter
+
 
 class RecursiveRANSAC:
     """Discover multiple linear lifetime models in mixed fleet data.
@@ -196,6 +390,14 @@ class RecursiveRANSAC:
     is found or its support falls below ``min_inliers``.  Models are
     returned ordered by decreasing support; each point belongs to at most
     one model.
+
+    Between peeling iterations the surviving trial pairs — those whose
+    two sample points were *not* absorbed by the accepted model — are
+    remapped into the peeled index space and reused; only the deficit up
+    to ``max_trials`` is redrawn.  Outlier-to-outlier sample pairs are
+    exactly the trials that can seed the next population's line, so
+    reusing them preserves trial quality while consuming less RNG stream
+    and less sampling time per level.
     """
 
     def __init__(
@@ -207,6 +409,7 @@ class RecursiveRANSAC:
         max_models: int = 8,
         slope_merge_tolerance: float = 0.35,
         seed: int | np.random.Generator | None = 0,
+        engine: str = "batched",
     ):
         """Create a recursive model finder.
 
@@ -222,6 +425,10 @@ class RecursiveRANSAC:
                 install offsets otherwise shows up as parallel duplicate
                 lines.  0 disables merging.
             seed: RNG seed.
+            engine: ``"batched"`` (default) evaluates trials through the
+                vectorized kernel; ``"reference"`` runs the scalar
+                per-trial loop.  Both consume the same RNG stream and
+                produce bit-identical models.
         """
         if min_inliers < 2:
             raise ValueError("min_inliers must be at least 2")
@@ -229,13 +436,68 @@ class RecursiveRANSAC:
             raise ValueError("max_models must be positive")
         if slope_merge_tolerance < 0:
             raise ValueError("slope_merge_tolerance must be non-negative")
+        if engine not in ("batched", "reference"):
+            raise ValueError(
+                f"engine must be 'batched' or 'reference', got {engine!r}"
+            )
         self.residual_threshold = residual_threshold
         self.max_trials = max_trials
         self.min_slope = min_slope
         self.min_inliers = min_inliers
         self.max_models = max_models
         self.slope_merge_tolerance = slope_merge_tolerance
+        self.engine = engine
         self._rng = np.random.default_rng(seed)
+        # Snapshot the pristine RNG state so clone() can replay this
+        # engine's exact fit sequence (walk-forward backtests clone per
+        # refresh day to keep every day independently reproducible) and
+        # config_key() can content-address fits.
+        self._bitgen_cls = type(self._rng.bit_generator)
+        self._initial_rng_state = copy.deepcopy(self._rng.bit_generator.state)
+
+    def clone(self) -> "RecursiveRANSAC":
+        """A fresh engine with identical config and pristine RNG state.
+
+        ``engine.clone().fit(x, z)`` always returns the same models for
+        the same data, no matter how many fits the original has already
+        run — the reproducibility contract the backtester relies on.
+        """
+        dup = RecursiveRANSAC(
+            residual_threshold=self.residual_threshold,
+            max_trials=self.max_trials,
+            min_slope=self.min_slope,
+            min_inliers=self.min_inliers,
+            max_models=self.max_models,
+            slope_merge_tolerance=self.slope_merge_tolerance,
+            seed=0,
+            engine=self.engine,
+        )
+        rng = np.random.Generator(self._bitgen_cls())
+        rng.bit_generator.state = copy.deepcopy(self._initial_rng_state)
+        dup._rng = rng
+        dup._bitgen_cls = self._bitgen_cls
+        dup._initial_rng_state = copy.deepcopy(self._initial_rng_state)
+        return dup
+
+    def config_key(self) -> tuple:
+        """Hashable fingerprint of everything that determines a fit.
+
+        Two engines with equal keys produce bit-identical models on
+        equal data, so the key (plus a content digest of the data) can
+        memoize fits — see
+        :class:`~repro.runtime.cache.ModelFitCache`.
+        """
+        return (
+            "recursive-ransac",
+            self.engine,
+            self.residual_threshold,
+            self.max_trials,
+            self.min_slope,
+            self.min_inliers,
+            self.max_models,
+            self.slope_merge_tolerance,
+            repr(self._initial_rng_state),
+        )
 
     def fit(self, x: np.ndarray, z: np.ndarray) -> list[LineModel]:
         """Return the discovered lifetime models (possibly empty).
@@ -248,16 +510,26 @@ class RecursiveRANSAC:
         if xs.size != zs.size:
             raise ValueError("x and z must have equal length")
 
+        fitter = RANSACLineFitter(
+            residual_threshold=self.residual_threshold,
+            max_trials=self.max_trials,
+            min_slope=self.min_slope,
+            seed=self._rng,
+        )
+        fit_once = fitter.fit if self.engine == "batched" else fitter.fit_reference
+
         remaining = np.arange(xs.size)
+        pairs: np.ndarray | None = None
         models: list[LineModel] = []
         while remaining.size >= self.min_inliers and len(models) < self.max_models:
-            ransac = RANSACRegressor(
-                residual_threshold=self.residual_threshold,
-                max_trials=self.max_trials,
-                min_slope=self.min_slope,
-                seed=self._rng,
-            )
-            model = ransac.fit(xs[remaining], zs[remaining])
+            if pairs is None:
+                pairs = draw_trial_pairs(self._rng, remaining.size, self.max_trials)
+            elif pairs.shape[0] < self.max_trials:
+                top_up = draw_trial_pairs(
+                    self._rng, remaining.size, self.max_trials - pairs.shape[0]
+                )
+                pairs = np.concatenate([pairs, top_up], axis=0)
+            model = fit_once(xs[remaining], zs[remaining], pairs=pairs)
             if model is None or model.n_inliers < self.min_inliers:
                 break
             global_inliers = remaining[model.inlier_indices]
@@ -271,6 +543,12 @@ class RecursiveRANSAC:
             )
             keep = np.ones(remaining.size, dtype=bool)
             keep[model.inlier_indices] = False
+            # Reuse outlier-to-outlier trial pairs at the next level:
+            # remap them into the peeled index space, drop pairs that
+            # lost an endpoint to the accepted model.
+            new_pos = np.cumsum(keep) - 1
+            alive = keep[pairs[:, 0]] & keep[pairs[:, 1]]
+            pairs = new_pos[pairs[alive]]
             remaining = remaining[keep]
         models = self._merge_similar(models, xs, zs)
         models.sort(key=lambda m: m.n_inliers, reverse=True)

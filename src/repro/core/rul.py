@@ -106,6 +106,24 @@ class RULEstimator:
     def n_models(self) -> int:
         return len(self.models_)
 
+    def _anchored_candidates(
+        self, xs: np.ndarray, zs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Anchoring intercept and residual score per population model.
+
+        One batched evaluation over all models: each row of the
+        (models × history) matrices goes through the same elementwise
+        operation sequence as the former per-model loop, and the axis
+        medians partition each row independently, so both vectors are
+        bit-identical to the scalar computation.
+        """
+        slopes = np.asarray([m.slope for m in self.models_])
+        intercepts = np.median(zs[None, :] - slopes[:, None] * xs[None, :], axis=1)
+        residuals = np.abs(
+            zs[None, :] - (slopes[:, None] * xs[None, :] + intercepts[:, None])
+        )
+        return intercepts, np.median(residuals, axis=1)
+
     def select_model(self, service_days: np.ndarray, da_values: np.ndarray) -> int:
         """Pick the population model that best explains one pump's history.
 
@@ -123,13 +141,18 @@ class RULEstimator:
         zs = np.asarray(da_values, dtype=np.float64).ravel()
         if xs.size == 0:
             raise ValueError("pump history is empty")
+        return self._select(self._anchored_candidates(xs, zs)[1])
+
+    @staticmethod
+    def _select(scores: np.ndarray) -> int:
+        # Strictly-smaller replacement, first win: non-finite scores can
+        # never displace the champion (matching the scalar loop they
+        # replaced), so a plain argmin would disagree on NaN.
         best_idx = -1
         best_score = np.inf
-        for idx, model in enumerate(self.models_):
-            intercept = float(np.median(zs - model.slope * xs))
-            score = float(np.median(np.abs(zs - (model.slope * xs + intercept))))
+        for idx, score in enumerate(scores):
             if score < best_score:
-                best_score = score
+                best_score = float(score)
                 best_idx = idx
         return best_idx
 
@@ -151,11 +174,14 @@ class RULEstimator:
             raise ValueError("pump history is empty")
         current = float(xs.max())
 
-        model_idx = self.select_model(xs, zs)
+        if not self.models_:
+            raise RuntimeError("no lifetime models fitted; call fit() first")
+        intercepts, scores = self._anchored_candidates(xs, zs)
+        model_idx = self._select(scores)
         if model_idx < 0:
             raise RuntimeError("no lifetime models fitted; call fit() first")
         model = self.models_[model_idx]
-        intercept = float(np.median(zs - model.slope * xs))
+        intercept = float(intercepts[model_idx])
         anchored = LineModel(
             slope=model.slope,
             intercept=intercept,

@@ -28,7 +28,13 @@ analytical code:
 """
 
 from repro.runtime.batch import BatchPeakHarmonicFeature, BatchPipeline
-from repro.runtime.cache import PeakFeatureCache, TransformCache, default_peak_cache
+from repro.runtime.cache import (
+    ModelFitCache,
+    PeakFeatureCache,
+    TransformCache,
+    default_model_fit_cache,
+    default_peak_cache,
+)
 from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.fleet import (
     ABANDONED,
@@ -49,6 +55,7 @@ __all__ = [
     "CheckpointManager",
     "FleetExecutor",
     "IncrementalPipelineSession",
+    "ModelFitCache",
     "PeakFeatureCache",
     "RuntimeProfile",
     "SharedArray",
@@ -60,5 +67,6 @@ __all__ = [
     "TransformCache",
     "WorkerKilledError",
     "attached_view",
+    "default_model_fit_cache",
     "default_peak_cache",
 ]

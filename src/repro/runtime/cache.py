@@ -446,9 +446,70 @@ class TransformCache:
                 self._store.popitem(last=False)
 
 
+class ModelFitCache:
+    """Bounded, thread-safe memo for lifetime-model fits.
+
+    A recursive-RANSAC fit is a pure function of ``(engine config +
+    initial RNG state, fit data)`` — :meth:`RecursiveRANSAC.config_key
+    <repro.core.ransac.RecursiveRANSAC.config_key>` captures the former
+    and a content digest of the ``(x, z)`` arrays the latter.  The
+    walk-forward backtest exploits this: consecutive refresh days whose
+    prefix windows contain the same valid points (no new measurements
+    landed in between) hash equal and reuse the fitted models outright.
+
+    Values are lists of frozen :class:`~repro.core.ransac.LineModel`
+    instances; callers must treat them (and their index arrays) as
+    immutable.  Eviction is FIFO like the other runtime caches.
+    """
+
+    def __init__(self, max_entries: int = 512):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._store: OrderedDict[tuple, list] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @staticmethod
+    def fit_key(config_key: tuple, x: np.ndarray, z: np.ndarray) -> tuple:
+        """Content-addressed key for a fit: engine config + data digests."""
+        return ("model-fit", config_key, array_digest(x), array_digest(z))
+
+    def models(self, key: tuple, compute) -> list:
+        """Cached model list for ``key``; ``compute()`` fills a miss."""
+        with self._lock:
+            if key in self._store:
+                self.hits += 1
+                return self._store[key]
+            self.misses += 1
+        models = compute()
+        with self._lock:
+            self._store[key] = models
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+        return models
+
+
 _DEFAULT_CACHE = PeakFeatureCache()
+
+_DEFAULT_MODEL_FIT_CACHE = ModelFitCache()
 
 
 def default_peak_cache() -> PeakFeatureCache:
     """The process-wide cache shared by batch pipelines by default."""
     return _DEFAULT_CACHE
+
+
+def default_model_fit_cache() -> ModelFitCache:
+    """The process-wide lifetime-model fit memo (backtests share it)."""
+    return _DEFAULT_MODEL_FIT_CACHE

@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.analysis.backtest import BacktestPoint, BacktestResult, backtest_rul
+from repro.analysis.backtest import (
+    BacktestPoint,
+    BacktestResult,
+    backtest_rul,
+    backtest_rul_reference,
+)
+from repro.core.ransac import RecursiveRANSAC
+from repro.runtime import FleetExecutor, RuntimeProfile
+from repro.runtime.cache import ModelFitCache
 
 
 def synthetic_fleet_history(seed=0, n_pumps=6, days=90.0, step=1.0):
@@ -101,6 +109,99 @@ class TestBacktestRul:
         with pytest.raises(ValueError, match="refresh"):
             backtest_rul(pumps, times, service, da, lives, THRESHOLD,
                          refresh_every_days=0.0)
+
+
+class TestIncrementalBacktestParity:
+    """The incremental fast path must reproduce the per-day rescan
+    reference bit for bit (same points, same floats, same order)."""
+
+    @staticmethod
+    def assert_identical(a: BacktestResult, b: BacktestResult):
+        assert len(a.points) == len(b.points) > 0
+        for pa, pb in zip(a.points, b.points):
+            assert pa == pb
+
+    def test_fast_equals_reference(self):
+        pumps, times, service, da, lives = synthetic_fleet_history()
+        args = (pumps, times, service, da, lives, THRESHOLD)
+        fast = backtest_rul(*args, refresh_every_days=20.0,
+                            fit_cache=ModelFitCache())
+        ref = backtest_rul_reference(*args, refresh_every_days=20.0)
+        self.assert_identical(fast, ref)
+
+    def test_fast_equals_reference_with_nans_and_supplied_engine(self):
+        pumps, times, service, da, lives = synthetic_fleet_history(seed=3)
+        da = da.copy()
+        da[::5] = np.nan
+        engine = RecursiveRANSAC(residual_threshold=0.05, min_inliers=30, seed=4)
+        fast = backtest_rul(
+            pumps, times, service, da, lives, THRESHOLD,
+            refresh_every_days=15.0, ransac=engine, fit_cache=ModelFitCache(),
+        )
+        ref = backtest_rul_reference(
+            pumps, times, service, da, lives, THRESHOLD,
+            refresh_every_days=15.0, ransac=engine,
+        )
+        self.assert_identical(fast, ref)
+
+    def test_supplied_engine_is_reusable_across_runs(self):
+        """Regression: the caller's engine used to advance its RNG state
+        across as-of days, so a second backtest with the same engine gave
+        different fits.  Cloning per day makes runs reproducible."""
+        pumps, times, service, da, lives = synthetic_fleet_history(seed=1)
+        engine = RecursiveRANSAC(residual_threshold=0.05, min_inliers=30, seed=7)
+        first = backtest_rul(
+            pumps, times, service, da, lives, THRESHOLD,
+            refresh_every_days=20.0, ransac=engine, fit_cache=ModelFitCache(),
+        )
+        second = backtest_rul(
+            pumps, times, service, da, lives, THRESHOLD,
+            refresh_every_days=20.0, ransac=engine, fit_cache=ModelFitCache(),
+        )
+        self.assert_identical(first, second)
+
+    def test_warm_fit_cache_reuses_every_fit(self):
+        pumps, times, service, da, lives = synthetic_fleet_history(seed=2)
+        cache = ModelFitCache()
+        cold = backtest_rul(
+            pumps, times, service, da, lives, THRESHOLD,
+            refresh_every_days=20.0, fit_cache=cache,
+        )
+        cold_misses = cache.misses
+        assert cold_misses > 0 and cache.hits == 0
+        warm = backtest_rul(
+            pumps, times, service, da, lives, THRESHOLD,
+            refresh_every_days=20.0, fit_cache=cache,
+        )
+        self.assert_identical(cold, warm)
+        assert cache.misses == cold_misses  # warm run fitted nothing
+        assert cache.hits == cold_misses
+
+    def test_executor_fanout_matches_serial(self):
+        pumps, times, service, da, lives = synthetic_fleet_history(seed=4)
+        serial = backtest_rul(
+            pumps, times, service, da, lives, THRESHOLD,
+            refresh_every_days=20.0, fit_cache=ModelFitCache(),
+        )
+        parallel = backtest_rul(
+            pumps, times, service, da, lives, THRESHOLD,
+            refresh_every_days=20.0, fit_cache=ModelFitCache(),
+            executor=FleetExecutor(max_workers=3),
+        )
+        self.assert_identical(serial, parallel)
+
+    def test_profile_receives_model_layer_stages(self):
+        pumps, times, service, da, lives = synthetic_fleet_history(seed=5)
+        profile = RuntimeProfile()
+        backtest_rul(
+            pumps, times, service, da, lives, THRESHOLD,
+            refresh_every_days=20.0, fit_cache=ModelFitCache(), profile=profile,
+        )
+        assert "backtest.fit_models" in profile.stages
+        assert "backtest.predict" in profile.stages
+        assert profile.counters["backtest.days"] > 0
+        assert profile.counters["backtest.predictions"] > 0
+        assert profile.counters["backtest.fit_cache_misses"] > 0
 
 
 class TestBacktestResult:

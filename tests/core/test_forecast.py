@@ -89,6 +89,48 @@ class TestHoltLinear:
         assert np.isfinite(forecaster.forecast(100)).all()
 
 
+class TestCrossingStep:
+    @staticmethod
+    def scan_crossing(forecaster, threshold, horizon):
+        """The O(horizon) definition crossing_step must reproduce."""
+        over = np.nonzero(forecaster.forecast(horizon) >= threshold)[0]
+        return int(over[0] + 1) if over.size else None
+
+    @given(
+        st.floats(-0.05, 0.05),
+        st.floats(0.0, 1.0),
+        st.integers(5, 80),
+        st.floats(0.0, 2.0),
+        st.sampled_from([0.9, 0.98, 1.0]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_bisection_matches_linear_scan(
+        self, slope, intercept, n, threshold, damping
+    ):
+        series = intercept + slope * np.arange(n)
+        forecaster = HoltLinearForecaster(damping=damping).fit(series)
+        horizon = 500
+        assert forecaster.crossing_step(threshold, horizon) == self.scan_crossing(
+            forecaster, threshold, horizon
+        )
+
+    def test_immediate_crossing(self):
+        forecaster = HoltLinearForecaster().fit(linear_series(slope=0.05, n=50))
+        assert forecaster.crossing_step(-1e9, 100) == 1
+
+    def test_negative_trend_never_crosses(self):
+        forecaster = HoltLinearForecaster().fit(linear_series(slope=-0.02, n=100))
+        assert forecaster.trend_ < 0
+        assert forecaster.crossing_step(1e9, 100) is None
+
+    def test_requires_fit_and_positive_horizon(self):
+        with pytest.raises(RuntimeError):
+            HoltLinearForecaster().crossing_step(1.0, 10)
+        forecaster = HoltLinearForecaster().fit(linear_series(n=10))
+        with pytest.raises(ValueError):
+            forecaster.crossing_step(1.0, 0)
+
+
 class TestARForecaster:
     def test_constant_increments_extrapolate(self):
         series = linear_series(slope=0.02, n=60)

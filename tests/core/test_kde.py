@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.core.kde as kde_module
 from repro.core.kde import GaussianKDE1D, min_error_threshold
 
 
@@ -116,3 +117,49 @@ class TestMinErrorThreshold:
         t = min_error_threshold(np.asarray(lower), np.asarray(upper))
         all_vals = lower + upper
         assert min(all_vals) <= t <= max(all_vals)
+
+    @given(
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=30),
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_global_minimum_against_brute_force(self, lower, upper):
+        """The midpoint scan achieves the true minimum over all real
+        thresholds in [min, max] — the property the old uniform grid
+        could miss between grid points."""
+        lo = np.asarray(lower)
+        hi = np.asarray(upper)
+        t = min_error_threshold(lo, hi)
+
+        def errors(thr):
+            return (lo >= thr).sum() + (hi < thr).sum()
+
+        # errors() only changes at sample values, so sample values and
+        # midpoints between consecutive ones enumerate every level.
+        uniq = np.unique(np.concatenate([lo, hi]))
+        brute_candidates = np.concatenate([uniq, (uniq[:-1] + uniq[1:]) / 2.0])
+        brute_min = min(errors(c) for c in brute_candidates)
+        assert errors(t) == brute_min
+
+
+class TestTiledPdf:
+    def test_tiled_matches_untiled_bitwise(self, monkeypatch):
+        """A tiny tile (many blocks) must reproduce the one-shot outer
+        product exactly: rows are never split, so each point's kernel
+        sum keeps its reduction order."""
+        gen = np.random.default_rng(3)
+        samples = gen.normal(0, 1, size=257)
+        points = np.linspace(-4, 4, 301)
+        kde = GaussianKDE1D(samples)
+        one_shot = kde.pdf(points)
+        monkeypatch.setattr(kde_module, "KDE_TILE_ELEMENTS", 512)
+        tiled = kde.pdf(points)
+        assert np.array_equal(one_shot, tiled)
+
+    def test_bounded_scratch_with_many_points(self, monkeypatch):
+        """Even a degenerate one-row tile yields correct densities."""
+        monkeypatch.setattr(kde_module, "KDE_TILE_ELEMENTS", 1)
+        kde = GaussianKDE1D(np.asarray([0.0, 1.0, 2.0]), bandwidth=0.5)
+        dens = kde.pdf(np.linspace(-1, 3, 17))
+        assert dens.shape == (17,)
+        assert (dens > 0).all()
